@@ -1,0 +1,46 @@
+//! Shared setup for the criterion benches: pre-built systems and workloads
+//! so the benches measure simulation, not construction.
+
+use qei_config::MachineConfig;
+use qei_sim::System;
+use qei_workloads::dpdk::DpdkFib;
+use qei_workloads::jvm::JvmGc;
+use qei_workloads::Workload;
+
+/// A pre-built DPDK bench fixture (bench-sized: small enough for tight
+/// criterion iterations, large enough to exercise the full path).
+pub fn dpdk_fixture() -> (System, DpdkFib) {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xB1);
+    let w = DpdkFib::build(sys.guest_mut(), 2_000, 150, 1);
+    (sys, w)
+}
+
+/// A pre-built JVM bench fixture.
+pub fn jvm_fixture() -> (System, JvmGc) {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xB2);
+    let w = JvmGc::build(sys.guest_mut(), 20_000, 200, 2);
+    (sys, w)
+}
+
+/// Sanity hook used by the benches to prevent dead-code elimination.
+pub fn checksum(report: &qei_sim::RunReport) -> u64 {
+    report.cycles ^ report.uops ^ report.queries
+}
+
+/// Asserts a workload invariant cheaply inside bench loops.
+pub fn verify_workload(w: &dyn Workload) {
+    assert_eq!(w.jobs().len(), w.expected().len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (_, w) = dpdk_fixture();
+        verify_workload(&w);
+        let (_, w) = jvm_fixture();
+        verify_workload(&w);
+    }
+}

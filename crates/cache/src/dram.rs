@@ -1,0 +1,113 @@
+//! DRAM channel timing model: fixed device latency plus utilization-driven
+//! queueing across the configured channels.
+
+use qei_config::{Cycles, DramParams};
+
+/// The memory controller + channels.
+#[derive(Debug)]
+pub struct Dram {
+    params: DramParams,
+    channel_bytes: Vec<u64>,
+    accesses: u64,
+}
+
+impl Dram {
+    /// Builds the DRAM model.
+    pub fn new(params: DramParams) -> Self {
+        Dram {
+            channel_bytes: vec![0; params.channels as usize],
+            params,
+            accesses: 0,
+        }
+    }
+
+    /// Which channel serves a given line (simple address interleave).
+    pub fn channel_of(&self, line: u64) -> usize {
+        (line % self.params.channels as u64) as usize
+    }
+
+    /// Performs one line-granularity access at simulation time `now_cycles`,
+    /// returning its latency.
+    pub fn access(&mut self, line: u64, now_cycles: u64) -> Cycles {
+        self.accesses += 1;
+        let ch = self.channel_of(line);
+        self.channel_bytes[ch] += 64;
+        let base = self.params.latency;
+        if now_cycles == 0 {
+            return Cycles(base);
+        }
+        let cap = self.params.bytes_per_cycle_per_channel * now_cycles as f64;
+        let util = (self.channel_bytes[ch] as f64 / cap).min(0.95);
+        let queue = (base as f64 * util / (1.0 - util)) as u64;
+        Cycles(base + queue)
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Aggregate bandwidth utilization at `now_cycles` (0..1 per channel mean).
+    pub fn mean_utilization(&self, now_cycles: u64) -> f64 {
+        if now_cycles == 0 {
+            return 0.0;
+        }
+        let cap = self.params.bytes_per_cycle_per_channel * now_cycles as f64;
+        let sum: f64 = self.channel_bytes.iter().map(|&b| b as f64 / cap).sum();
+        sum / self.channel_bytes.len() as f64
+    }
+
+    /// Clears traffic accounting.
+    pub fn reset(&mut self) {
+        self.channel_bytes.fill(0);
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramParams {
+            channels: 6,
+            latency: 210,
+            bytes_per_cycle_per_channel: 7.68,
+        })
+    }
+
+    #[test]
+    fn idle_latency_is_base() {
+        let mut d = dram();
+        assert_eq!(d.access(0, 0), Cycles(210));
+        assert_eq!(d.accesses(), 1);
+    }
+
+    #[test]
+    fn channels_interleave() {
+        let d = dram();
+        let chans: Vec<usize> = (0..12).map(|l| d.channel_of(l)).collect();
+        assert_eq!(&chans[..6], &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(&chans[6..], &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn saturation_inflates_latency() {
+        let mut d = dram();
+        let mut last = Cycles::ZERO;
+        for _ in 0..10_000 {
+            last = d.access(0, 5_000);
+        }
+        assert!(last > Cycles(210));
+        assert!(d.mean_utilization(5_000) > 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = dram();
+        d.access(0, 100);
+        d.reset();
+        assert_eq!(d.accesses(), 0);
+        assert_eq!(d.mean_utilization(100), 0.0);
+    }
+}

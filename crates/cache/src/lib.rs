@@ -1,0 +1,23 @@
+//! Cache hierarchy and DRAM timing model.
+//!
+//! Models the paper's Table II memory system: per-core 32 KB L1D and 1 MB L2,
+//! a 33 MB shared NUCA LLC split into one slice per core (each fronted by a
+//! CHA), and six DDR4 channels. Accesses can originate from three places,
+//! matching the integration schemes:
+//!
+//! * the **core** (software baseline): L1 → L2 → home LLC slice → DRAM;
+//! * the **L2 side** (Core-integrated QEI): L2 → home LLC slice → DRAM — no
+//!   L1 pollution;
+//! * a **CHA** (CHA-based QEI and the remote comparators): the home LLC slice
+//!   directly → DRAM — no private-cache pollution at all.
+//!
+//! All latencies include the mesh-NoC hops between the requesting tile and
+//! the line's home slice.
+
+pub mod dram;
+pub mod hierarchy;
+pub mod set_cache;
+
+pub use dram::Dram;
+pub use hierarchy::{AccessResult, HitLevel, MemoryHierarchy, MemStats};
+pub use set_cache::{CacheStats, SetCache};

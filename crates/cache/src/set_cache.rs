@@ -1,0 +1,195 @@
+//! A set-associative cache tag store with true-LRU replacement and
+//! write-back dirty tracking.
+
+use qei_config::{CacheParams, Ratio};
+
+/// One cache's tag array. Data always lives in guest memory (the simulator is
+/// functionally coherent by construction); the cache decides *timing* only.
+#[derive(Debug, Clone)]
+pub struct SetCache {
+    // Per set: MRU-ordered (line_addr, dirty) entries.
+    sets: Vec<Vec<(u64, bool)>>,
+    ways: usize,
+    latency: u64,
+    stats: CacheStats,
+}
+
+/// Hit/miss and eviction statistics for one cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Access outcomes.
+    pub accesses: Ratio,
+    /// Lines evicted.
+    pub evictions: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+/// Result of touching one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Touch {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// A dirty line that was evicted to make room, if any.
+    pub writeback: Option<u64>,
+}
+
+impl SetCache {
+    /// Builds a cache from its geometry. For sliced caches (the LLC) pass the
+    /// per-slice capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry.
+    pub fn new(params: CacheParams) -> Self {
+        let lines = params.size_bytes / params.line_bytes as u64;
+        assert!(lines > 0 && params.ways > 0);
+        assert!(lines % params.ways as u64 == 0, "geometry must divide evenly");
+        let n_sets = (lines / params.ways as u64) as usize;
+        SetCache {
+            sets: vec![Vec::with_capacity(params.ways as usize); n_sets],
+            ways: params.ways as usize,
+            latency: params.latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This level's access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Accesses `line` (a 64 B-aligned line address divided by 64), filling on
+    /// miss. `write` marks the line dirty.
+    pub fn access(&mut self, line: u64, write: bool) -> Touch {
+        let ways = self.ways;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set.remove(pos);
+            set.insert(0, (l, d || write));
+            self.stats.accesses.record(true);
+            return Touch {
+                hit: true,
+                writeback: None,
+            };
+        }
+        set.insert(0, (line, write));
+        let mut writeback = None;
+        if set.len() > ways {
+            let (evicted, dirty) = set.pop().expect("overfull set");
+            self.stats.evictions += 1;
+            if dirty {
+                self.stats.writebacks += 1;
+                writeback = Some(evicted);
+            }
+        }
+        self.stats.accesses.record(false);
+        Touch {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Probes residency without changing state.
+    pub fn probe(&self, line: u64) -> bool {
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|&(l, _)| l == line)
+    }
+
+    /// Invalidates a single line (back-invalidation), returning whether it
+    /// was dirty.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (_, dirty) = set.remove(pos);
+            dirty
+        } else {
+            false
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident lines (for occupancy assertions in tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetCache {
+        // 4 sets x 2 ways of 64 B lines.
+        SetCache::new(CacheParams {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(100, false).hit);
+        assert!(c.access(100, false).hit);
+        assert_eq!(c.stats().accesses.hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = tiny(); // lines 0,4,8 map to set 0
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // 4 now LRU
+        let t = c.access(8, false);
+        assert!(!t.hit);
+        assert!(t.writeback.is_none(), "clean eviction has no writeback");
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = tiny();
+        c.access(0, true); // dirty
+        c.access(4, false);
+        let t = c.access(8, false); // evicts dirty 0? No: LRU is 0 after 4,8 inserted
+        // MRU order after: 8,4 — evicted was 0 (dirty).
+        assert_eq!(t.writeback, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true); // now dirty via hit
+        c.access(4, false);
+        let t = c.access(8, false);
+        assert_eq!(t.writeback, Some(0));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(4, false);
+        assert!(c.invalidate(0));
+        assert!(!c.invalidate(4));
+        assert!(!c.invalidate(12)); // absent
+        assert_eq!(c.resident_lines(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cycle-count arithmetic.
+//!
+//! All timing in the simulator is expressed in core clock cycles of the
+//! simulated 2.5 GHz machine. [`Cycles`] is a thin newtype over `u64` that
+//! supports the arithmetic the timing models need while preventing accidental
+//! mixing with raw integers that mean something else (byte counts, indices).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A duration or point in time measured in simulated core clock cycles.
+///
+/// # Example
+///
+/// ```
+/// use qei_config::Cycles;
+///
+/// let l1 = Cycles(4);
+/// let l2 = Cycles(14);
+/// assert_eq!(l1 + l2, Cycles(18));
+/// assert_eq!((l1 + l2).as_u64(), 18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; clamps at zero instead of underflowing.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Converts a cycle count at the default 2.5 GHz clock into nanoseconds.
+    #[inline]
+    pub fn as_nanos_at_2_5ghz(self) -> f64 {
+        self.0 as f64 / 2.5
+    }
+
+    /// Returns the later of two time points.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two time points.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Cycles {
+        Cycles(v)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles(10);
+        let b = Cycles(4);
+        assert_eq!(a + b, Cycles(14));
+        assert_eq!(a - b, Cycles(6));
+        assert_eq!(a * 3, Cycles(30));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn add_assign_and_sum() {
+        let mut t = Cycles::ZERO;
+        t += Cycles(5);
+        t += Cycles(7);
+        assert_eq!(t, Cycles(12));
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn nanos_conversion() {
+        // 2500 cycles at 2.5 GHz is exactly 1000 ns.
+        assert!((Cycles(2500).as_nanos_at_2_5ghz() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycles(42).to_string(), "42 cy");
+    }
+}

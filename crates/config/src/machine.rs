@@ -1,0 +1,299 @@
+//! Simulated machine configuration.
+//!
+//! [`MachineConfig::skylake_sp_24`] reproduces the paper's Table II: a 24-core
+//! out-of-order server CPU at 2.5 GHz with 32 KB L1s, 1 MB L2s, a 33 MB shared
+//! NUCA LLC split into 24 slices, 72/56/224 LQ/SQ/ROB entries, six DDR4-2666
+//! channels, and a mesh NoC at 22 nm.
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Cache line size in bytes (64 everywhere in this model).
+    pub line_bytes: u32,
+    /// Access latency in core cycles (tag + data, load-to-use).
+    pub latency: u64,
+}
+
+impl CacheParams {
+    /// Number of sets implied by the size/ways/line geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self) -> u64 {
+        let lines = self.size_bytes / self.line_bytes as u64;
+        assert!(
+            lines % self.ways as u64 == 0,
+            "cache geometry must divide evenly: {lines} lines, {} ways",
+            self.ways
+        );
+        lines / self.ways as u64
+    }
+}
+
+/// TLB geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbParams {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Hit latency in cycles (beyond the enclosing structure's pipeline).
+    pub hit_latency: u64,
+}
+
+/// DRAM channel model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramParams {
+    /// Number of channels.
+    pub channels: u32,
+    /// Idle access latency in core cycles (row activate + CAS + transfer).
+    pub latency: u64,
+    /// Peak bandwidth per channel in bytes per core cycle.
+    pub bytes_per_cycle_per_channel: f64,
+}
+
+/// QEI accelerator sizing (the paper's Table II bottom rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QeiParams {
+    /// In-flight query slots per accelerator instance (QST entries).
+    pub qst_entries: u32,
+    /// ALUs per Data Processing Unit.
+    pub alus_per_dpu: u32,
+    /// Comparators per CHA for CHA-based / Core-integrated schemes.
+    pub comparators_per_cha: u32,
+    /// Comparators per DPU for Device-based schemes.
+    pub comparators_per_dpu_device: u32,
+    /// Comparator width: bytes compared per comparator per cycle.
+    pub comparator_bytes_per_cycle: u32,
+    /// Latency of the hash unit for one supported hash function, in cycles.
+    pub hash_latency: u64,
+    /// Dedicated accelerator TLB entries (CHA-TLB / Device schemes).
+    pub accel_tlb_entries: u32,
+}
+
+/// Full simulated machine configuration (the paper's Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of out-of-order cores (and LLC slices / CHAs).
+    pub cores: u32,
+    /// Core clock in GHz (timing is in cycles; this is for reporting).
+    pub clock_ghz: f64,
+    /// Dispatch/issue width of each core.
+    pub dispatch_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Load-queue entries.
+    pub lq_entries: u32,
+    /// Store-queue entries.
+    pub sq_entries: u32,
+    /// Branch misprediction penalty (frontend refill), cycles.
+    pub mispredict_penalty: u64,
+    /// L1 data cache.
+    pub l1d: CacheParams,
+    /// Private L2 cache.
+    pub l2: CacheParams,
+    /// Shared LLC (total across all slices).
+    pub llc: CacheParams,
+    /// L1 data TLB.
+    pub l1_dtlb: TlbParams,
+    /// Unified second-level TLB (shared with QEI in the Core-integrated scheme).
+    pub l2_tlb: TlbParams,
+    /// Page-walk latency on an L2-TLB miss, cycles.
+    pub page_walk_latency: u64,
+    /// DRAM configuration.
+    pub dram: DramParams,
+    /// Mesh NoC: cycles per hop (router + link).
+    pub noc_hop_latency: u64,
+    /// Mesh NoC: flit bandwidth per link in bytes per cycle.
+    pub noc_link_bytes_per_cycle: f64,
+    /// Mesh width in tiles (height = cores / width).
+    pub mesh_width: u32,
+    /// QEI accelerator sizing.
+    pub qei: QeiParams,
+    /// Process node in nm (area/power model input).
+    pub process_nm: u32,
+}
+
+impl MachineConfig {
+    /// The paper's evaluated configuration (Table II): a 24-core
+    /// Skylake-SP-like server at 2.5 GHz.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let m = qei_config::MachineConfig::skylake_sp_24();
+    /// assert_eq!(m.rob_entries, 224);
+    /// assert_eq!(m.llc.size_bytes, 33 * 1024 * 1024 / 33 * 33); // 33 MB
+    /// ```
+    pub fn skylake_sp_24() -> Self {
+        MachineConfig {
+            cores: 24,
+            clock_ghz: 2.5,
+            dispatch_width: 4,
+            rob_entries: 224,
+            lq_entries: 72,
+            sq_entries: 56,
+            mispredict_penalty: 16,
+            l1d: CacheParams {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheParams {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency: 14,
+            },
+            llc: CacheParams {
+                // 33 MB shared, 11-way, split into 24 slices.
+                size_bytes: 33 * 1024 * 1024,
+                ways: 11,
+                line_bytes: 64,
+                latency: 26, // slice-local access; NoC hops are added on top
+            },
+            l1_dtlb: TlbParams {
+                entries: 64,
+                ways: 4,
+                hit_latency: 0,
+            },
+            l2_tlb: TlbParams {
+                entries: 1536,
+                ways: 12,
+                hit_latency: 7,
+            },
+            page_walk_latency: 80,
+            dram: DramParams {
+                channels: 6,
+                latency: 210,
+                // 19.2 GB/s per channel at 2.5 GHz = 7.68 B/cycle.
+                bytes_per_cycle_per_channel: 7.68,
+            },
+            noc_hop_latency: 2,
+            noc_link_bytes_per_cycle: 32.0,
+            mesh_width: 6,
+            qei: QeiParams {
+                qst_entries: 10,
+                alus_per_dpu: 5,
+                comparators_per_cha: 2,
+                comparators_per_dpu_device: 10,
+                comparator_bytes_per_cycle: 8,
+                hash_latency: 6,
+                accel_tlb_entries: 1024,
+            },
+            process_nm: 22,
+        }
+    }
+
+    /// A small 4-core configuration for fast unit tests.
+    pub fn small_test() -> Self {
+        let mut m = Self::skylake_sp_24();
+        m.cores = 4;
+        m.mesh_width = 2;
+        m.llc.size_bytes = 4 * 1024 * 1024;
+        m
+    }
+
+    /// Mesh height in tiles.
+    pub fn mesh_height(&self) -> u32 {
+        self.cores.div_ceil(self.mesh_width)
+    }
+
+    /// LLC capacity per slice in bytes.
+    pub fn llc_slice_bytes(&self) -> u64 {
+        self.llc.size_bytes / self.cores as u64
+    }
+
+    /// Validates internal consistency, returning a list of problems (empty if
+    /// the configuration is sound).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.cores == 0 {
+            problems.push("cores must be nonzero".to_owned());
+            return problems;
+        }
+        if self.mesh_width == 0 || self.mesh_width > self.cores {
+            problems.push("mesh_width must be in 1..=cores".to_owned());
+        }
+        if self.dispatch_width == 0 {
+            problems.push("dispatch_width must be nonzero".to_owned());
+        }
+        if self.llc.size_bytes % self.cores as u64 != 0 {
+            problems.push("LLC must split evenly across slices".to_owned());
+        }
+        for (name, c) in [("l1d", &self.l1d), ("l2", &self.l2)] {
+            let lines = c.size_bytes / c.line_bytes as u64;
+            if lines % c.ways as u64 != 0 {
+                problems.push(format!("{name} geometry does not divide evenly"));
+            }
+        }
+        if self.qei.qst_entries == 0 {
+            problems.push("QST must have at least one entry".to_owned());
+        }
+        problems
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::skylake_sp_24()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_values() {
+        let m = MachineConfig::skylake_sp_24();
+        assert_eq!(m.cores, 24);
+        assert_eq!((m.lq_entries, m.sq_entries, m.rob_entries), (72, 56, 224));
+        assert_eq!(m.l1d.size_bytes, 32 * 1024);
+        assert_eq!(m.l1d.ways, 8);
+        assert_eq!(m.l2.size_bytes, 1024 * 1024);
+        assert_eq!(m.l2.ways, 16);
+        assert_eq!(m.llc.ways, 11);
+        assert_eq!(m.dram.channels, 6);
+        assert_eq!(m.qei.qst_entries, 10);
+        assert_eq!(m.qei.alus_per_dpu, 5);
+        assert_eq!(m.qei.comparators_per_cha, 2);
+        assert_eq!(m.qei.comparators_per_dpu_device, 10);
+        assert_eq!(m.process_nm, 22);
+    }
+
+    #[test]
+    fn validates_clean() {
+        assert!(MachineConfig::skylake_sp_24().validate().is_empty());
+        assert!(MachineConfig::small_test().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut m = MachineConfig::skylake_sp_24();
+        m.cores = 0;
+        assert!(!m.validate().is_empty());
+
+        let mut m = MachineConfig::skylake_sp_24();
+        m.llc.size_bytes += 1;
+        assert!(m
+            .validate()
+            .iter()
+            .any(|p| p.contains("split evenly")));
+    }
+
+    #[test]
+    fn derived_geometry() {
+        let m = MachineConfig::skylake_sp_24();
+        assert_eq!(m.mesh_height(), 4);
+        assert_eq!(m.llc_slice_bytes(), 33 * 1024 * 1024 / 24);
+        assert_eq!(m.l1d.sets(), 64);
+        assert_eq!(m.l2.sets(), 1024);
+    }
+}

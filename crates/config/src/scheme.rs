@@ -1,0 +1,240 @@
+//! Accelerator integration schemes (the paper's Section V and Table I).
+//!
+//! The paper evaluates five ways of placing the QEI accelerator in a CPU:
+//!
+//! * [`Scheme::ChaTlb`] — accelerator in every CHA with a dedicated 1024-entry
+//!   TLB (HALO-like).
+//! * [`Scheme::ChaNoTlb`] — accelerator in every CHA, but address translation
+//!   round-trips to the owning core's MMU.
+//! * [`Scheme::DeviceDirect`] — one centralized accelerator on its own NoC stop,
+//!   behaving like a heterogeneous core (DASX-like).
+//! * [`Scheme::DeviceIndirect`] — one centralized accelerator behind a standard
+//!   device interface (CXL / OpenCAPI-like).
+//! * [`Scheme::CoreIntegrated`] — the paper's proposal: QST/CEE/DPU beside each
+//!   core's L2, sharing the L2-TLB, with comparators distributed into the CHAs.
+
+use std::fmt;
+
+/// How the QEI accelerator is integrated into the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// Accelerator per CHA with dedicated TLB (HALO-like).
+    ChaTlb,
+    /// Accelerator per CHA using the core's MMU over the NoC.
+    ChaNoTlb,
+    /// Centralized accelerator attached directly to the NoC as a special core.
+    DeviceDirect,
+    /// Centralized accelerator behind a standard device interface.
+    DeviceIndirect,
+    /// The paper's proposal: near-L2 control, comparators in the CHAs.
+    CoreIntegrated,
+}
+
+impl Scheme {
+    /// All five schemes, in the order the paper's figures list them.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::ChaTlb,
+        Scheme::ChaNoTlb,
+        Scheme::DeviceDirect,
+        Scheme::DeviceIndirect,
+        Scheme::CoreIntegrated,
+    ];
+
+    /// Short label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::ChaTlb => "CHA-TLB",
+            Scheme::ChaNoTlb => "CHA-noTLB",
+            Scheme::DeviceDirect => "Device-direct",
+            Scheme::DeviceIndirect => "Device-indirect",
+            Scheme::CoreIntegrated => "Core-integrated",
+        }
+    }
+
+    /// Whether key comparison runs inside the CHAs (near the LLC slices).
+    pub fn comparators_in_cha(self) -> bool {
+        matches!(
+            self,
+            Scheme::ChaTlb | Scheme::ChaNoTlb | Scheme::CoreIntegrated
+        )
+    }
+
+    /// Whether the scheme has a private, dedicated TLB in the accelerator.
+    pub fn has_dedicated_tlb(self) -> bool {
+        matches!(
+            self,
+            Scheme::ChaTlb | Scheme::DeviceDirect | Scheme::DeviceIndirect
+        )
+    }
+
+    /// Whether translation needs a round trip to the core MMU.
+    pub fn translation_round_trips_to_core(self) -> bool {
+        matches!(self, Scheme::ChaNoTlb)
+    }
+
+    /// Whether the accelerator is one centralized block (Device-based).
+    pub fn is_centralized(self) -> bool {
+        matches!(self, Scheme::DeviceDirect | Scheme::DeviceIndirect)
+    }
+
+    /// Whether the scheme creates a NoC hotspot (paper Table I).
+    pub fn creates_hotspot(self) -> bool {
+        self.is_centralized()
+    }
+
+    /// Whether accelerator accesses pollute the private caches (Table I:
+    /// none of the five evaluated schemes do; the naive fully-in-core design
+    /// the paper dismisses qualitatively would).
+    pub fn pollutes_private_caches(self) -> bool {
+        false
+    }
+
+    /// Default timing parameters for the scheme (paper Table I mid-points).
+    pub fn params(self) -> SchemeParams {
+        match self {
+            Scheme::ChaTlb => SchemeParams {
+                core_accel_latency: 50,
+                accel_data_latency: 18,
+                dedicated_tlb_entries: 1024,
+                hardware_cost: HardwareCost::Low,
+                scalability: Scalability::Good,
+            },
+            Scheme::ChaNoTlb => SchemeParams {
+                core_accel_latency: 50,
+                accel_data_latency: 18,
+                dedicated_tlb_entries: 0,
+                hardware_cost: HardwareCost::Low,
+                scalability: Scalability::Good,
+            },
+            Scheme::DeviceDirect => SchemeParams {
+                core_accel_latency: 110,
+                accel_data_latency: 60,
+                dedicated_tlb_entries: 1024,
+                hardware_cost: HardwareCost::Medium,
+                scalability: Scalability::Medium,
+            },
+            Scheme::DeviceIndirect => SchemeParams {
+                core_accel_latency: 300,
+                accel_data_latency: 300,
+                dedicated_tlb_entries: 1024,
+                hardware_cost: HardwareCost::High,
+                scalability: Scalability::Medium,
+            },
+            Scheme::CoreIntegrated => SchemeParams {
+                core_accel_latency: 18,
+                accel_data_latency: 30,
+                dedicated_tlb_entries: 0,
+                hardware_cost: HardwareCost::Low,
+                scalability: Scalability::Good,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Relative hardware cost bucket (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HardwareCost {
+    /// Small added logic, shared resources.
+    Low,
+    /// Dedicated block plus interface logic.
+    Medium,
+    /// Dedicated block plus protocol/coherence machinery.
+    High,
+}
+
+impl fmt::Display for HardwareCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HardwareCost::Low => "Low",
+            HardwareCost::Medium => "Medium",
+            HardwareCost::High => "High",
+        })
+    }
+}
+
+/// Scalability bucket (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scalability {
+    /// Parallelism grows with core/slice count.
+    Good,
+    /// Centralized resource shared by all cores.
+    Medium,
+}
+
+impl fmt::Display for Scalability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scalability::Good => "Good",
+            Scalability::Medium => "Medium",
+        })
+    }
+}
+
+/// Per-scheme timing/cost parameters (the paper's Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeParams {
+    /// One-way core-to-accelerator request latency in cycles.
+    pub core_accel_latency: u64,
+    /// Accelerator-to-data (LLC) access latency in cycles, excluding misses.
+    pub accel_data_latency: u64,
+    /// Dedicated TLB entries (0 = shares an existing TLB or uses core MMU).
+    pub dedicated_tlb_entries: u32,
+    /// Relative hardware cost.
+    pub hardware_cost: HardwareCost,
+    /// Scalability bucket.
+    pub scalability: Scalability,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_orderings() {
+        // Core-integrated has the lowest core<->accelerator latency.
+        let ci = Scheme::CoreIntegrated.params();
+        for s in [Scheme::ChaTlb, Scheme::DeviceDirect, Scheme::DeviceIndirect] {
+            assert!(ci.core_accel_latency < s.params().core_accel_latency);
+        }
+        // Device-indirect is the slowest to data.
+        let di = Scheme::DeviceIndirect.params();
+        for s in Scheme::ALL {
+            assert!(di.accel_data_latency >= s.params().accel_data_latency);
+        }
+        // CHA-based schemes are closest to data.
+        assert!(
+            Scheme::ChaTlb.params().accel_data_latency
+                < Scheme::CoreIntegrated.params().accel_data_latency
+        );
+    }
+
+    #[test]
+    fn scheme_properties() {
+        assert!(Scheme::CoreIntegrated.comparators_in_cha());
+        assert!(!Scheme::DeviceDirect.comparators_in_cha());
+        assert!(Scheme::ChaTlb.has_dedicated_tlb());
+        assert!(!Scheme::CoreIntegrated.has_dedicated_tlb());
+        assert!(Scheme::ChaNoTlb.translation_round_trips_to_core());
+        assert!(Scheme::DeviceIndirect.creates_hotspot());
+        assert!(!Scheme::CoreIntegrated.creates_hotspot());
+        for s in Scheme::ALL {
+            assert!(!s.pollutes_private_caches());
+            assert!(!s.label().is_empty());
+            assert_eq!(s.to_string(), s.label());
+        }
+    }
+
+    #[test]
+    fn all_contains_each_variant_once() {
+        let mut v = Scheme::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Query exception codes (paper §IV-D).
+//!
+//! When a CFA step faults — dereferencing memory that does not belong to the
+//! thread, chasing a corrupt pointer — the query transitions to the
+//! `EXCEPTION` state and one of these codes is delivered: to the core through
+//! the Result Queue for blocking queries, or written to the result address
+//! for non-blocking ones.
+
+use qei_mem::MemError;
+use std::error::Error;
+use std::fmt;
+
+/// The exception code attached to a faulted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCode {
+    /// A pointer in the structure (or an input) referenced an unmapped page.
+    PageFault,
+    /// A null pointer was dereferenced where a node was required.
+    NullPointer,
+    /// The header named a data-structure type/subtype with no CFA loaded.
+    UnknownType,
+    /// The header failed validation (bad key length, zero capacity, …).
+    MalformedHeader,
+    /// The CFA exceeded its step budget — a cycle in the structure or a
+    /// corrupt link chain (queries must terminate; hardware watchdogs).
+    StepLimit,
+    /// The query was aborted by an interrupt-driven QST flush; software
+    /// should re-issue it (paper §IV-D).
+    Aborted,
+}
+
+impl FaultCode {
+    /// The wire encoding written to a non-blocking query's result address.
+    /// Codes occupy the top byte so they cannot collide with real results
+    /// (guest heap addresses are < 2^48).
+    pub fn encode(self) -> u64 {
+        let low = match self {
+            FaultCode::PageFault => 1,
+            FaultCode::NullPointer => 2,
+            FaultCode::UnknownType => 3,
+            FaultCode::MalformedHeader => 4,
+            FaultCode::StepLimit => 5,
+            FaultCode::Aborted => 6,
+        };
+        0xFF00_0000_0000_0000 | low
+    }
+
+    /// Decodes a wire value if it is a fault encoding.
+    pub fn decode(v: u64) -> Option<FaultCode> {
+        if v & 0xFF00_0000_0000_0000 != 0xFF00_0000_0000_0000 {
+            return None;
+        }
+        match v & 0xFF {
+            1 => Some(FaultCode::PageFault),
+            2 => Some(FaultCode::NullPointer),
+            3 => Some(FaultCode::UnknownType),
+            4 => Some(FaultCode::MalformedHeader),
+            5 => Some(FaultCode::StepLimit),
+            6 => Some(FaultCode::Aborted),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for FaultCode {
+    fn from(e: MemError) -> Self {
+        match e {
+            MemError::NullDeref => FaultCode::NullPointer,
+            _ => FaultCode::PageFault,
+        }
+    }
+}
+
+impl fmt::Display for FaultCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultCode::PageFault => "page fault during query",
+            FaultCode::NullPointer => "null pointer dereference during query",
+            FaultCode::UnknownType => "no CFA loaded for data-structure type",
+            FaultCode::MalformedHeader => "malformed data-structure header",
+            FaultCode::StepLimit => "query exceeded step budget",
+            FaultCode::Aborted => "query aborted by QST flush",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for FaultCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [FaultCode; 6] = [
+        FaultCode::PageFault,
+        FaultCode::NullPointer,
+        FaultCode::UnknownType,
+        FaultCode::MalformedHeader,
+        FaultCode::StepLimit,
+        FaultCode::Aborted,
+    ];
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for f in ALL {
+            assert_eq!(FaultCode::decode(f.encode()), Some(f));
+        }
+    }
+
+    #[test]
+    fn normal_results_do_not_decode_as_faults() {
+        assert_eq!(FaultCode::decode(0), None);
+        assert_eq!(FaultCode::decode(0x7f00_1234_5678_9abc), None);
+        assert_eq!(FaultCode::decode(u64::MAX & !0xFF), None);
+    }
+
+    #[test]
+    fn mem_error_conversion() {
+        assert_eq!(
+            FaultCode::from(MemError::NullDeref),
+            FaultCode::NullPointer
+        );
+        assert_eq!(
+            FaultCode::from(MemError::Unmapped(qei_mem::VirtAddr(0x99))),
+            FaultCode::PageFault
+        );
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for f in ALL {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

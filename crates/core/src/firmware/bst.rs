@@ -1,0 +1,106 @@
+//! The binary-search-tree / object-tree query CFA.
+//!
+//! This is the CFA the JVM garbage-collection workload exercises: the live
+//! object tree maps object identifiers to object metadata. Node layout
+//! (32 bytes):
+//!
+//! | offset | field |
+//! |---|---|
+//! | 0 | `key` — 8 bytes, **big-endian** so memcmp order equals numeric order |
+//! | 8 | `value` |
+//! | 16 | `left` child pointer |
+//! | 24 | `right` child pointer |
+//!
+//! The key is inline, so each probe costs one node fetch and the comparison
+//! runs over bytes already staged — the comparator still executes (and is
+//! charged) but no extra memory access is needed.
+
+use super::{CfaProgram, STATE_DONE, STATE_START};
+use crate::ctx::QueryCtx;
+use crate::uop::{MicroOp, OpOutcome};
+use crate::RESULT_NOT_FOUND;
+use qei_mem::VirtAddr;
+use std::cmp::Ordering;
+
+/// Offset of the big-endian key.
+pub const NODE_KEY_OFF: u64 = 0;
+/// Offset of the value.
+pub const NODE_VALUE_OFF: u64 = 8;
+/// Offset of the left child pointer.
+pub const NODE_LEFT_OFF: u64 = 16;
+/// Offset of the right child pointer.
+pub const NODE_RIGHT_OFF: u64 = 24;
+/// Node size in bytes.
+pub const NODE_BYTES: u64 = 32;
+
+const BST_MEM_N: u8 = 1;
+const BST_COMP: u8 = 2;
+
+/// The BST CFA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BstCfa;
+
+impl CfaProgram for BstCfa {
+    fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
+        match (ctx.state, last) {
+            (STATE_START, OpOutcome::Start) => {
+                ctx.cursor = ctx.header.ds_ptr.0;
+                if ctx.cursor == 0 {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done {
+                        result: RESULT_NOT_FOUND,
+                    };
+                }
+                ctx.state = BST_MEM_N;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor),
+                    len: NODE_BYTES as u32,
+                }
+            }
+            (BST_MEM_N, OpOutcome::Data) => {
+                ctx.acc = ctx.line_u64(NODE_VALUE_OFF as usize);
+                // Stash children for the post-compare transition.
+                ctx.cursor2 = ctx.line_u64(NODE_LEFT_OFF as usize);
+                ctx.counter = ctx.line_u64(NODE_RIGHT_OFF as usize);
+                ctx.state = BST_COMP;
+                MicroOp::Compare {
+                    addr: VirtAddr(ctx.cursor + NODE_KEY_OFF),
+                    len: 8,
+                    key_off: 0,
+                }
+            }
+            (BST_COMP, OpOutcome::Cmp(Ordering::Equal)) => {
+                ctx.state = STATE_DONE;
+                MicroOp::Done { result: ctx.acc }
+            }
+            (BST_COMP, OpOutcome::Cmp(ord)) => {
+                // stored < query → go right; stored > query → go left.
+                ctx.cursor = if ord == Ordering::Less {
+                    ctx.counter
+                } else {
+                    ctx.cursor2
+                };
+                if ctx.cursor == 0 {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done {
+                        result: RESULT_NOT_FOUND,
+                    };
+                }
+                ctx.state = BST_MEM_N;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor),
+                    len: NODE_BYTES as u32,
+                }
+            }
+            (s, o) => unreachable!("BST CFA: state {s} got {o:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bst"
+    }
+
+    fn state_count(&self) -> u8 {
+        4
+    }
+}

@@ -1,0 +1,268 @@
+//! Hash-table query CFAs.
+//!
+//! Two subtypes, demonstrating the paper's point that one accelerator hosts
+//! multiple CFAs and even "combined" structures:
+//!
+//! * **Subtype 0 — chained** ([`ChainedHashCfa`]): a bucket array of chain
+//!   head pointers, each chain a linked list of 24-byte nodes (the same node
+//!   layout as the linked-list CFA). This *is* the paper's combined
+//!   "hash table of linked lists" treated as one structure with its own CFA.
+//! * **Subtype 1 — cuckoo** ([`CuckooHashCfa`]): DPDK-style signature-tagged
+//!   buckets with two candidate positions. Bucket entry: `{sig: u64,
+//!   kv_ptr: u64}`; the key-value record is `{value: u64, key: [u8]}`.
+//!
+//! Header fields: `capacity` = bucket count; `aux0` = entries per bucket
+//! (cuckoo); `aux1`/`aux2` = the two hash seeds.
+
+use super::{CfaProgram, STATE_DONE, STATE_START};
+use crate::ctx::QueryCtx;
+use crate::uop::{MicroOp, OpOutcome};
+use crate::RESULT_NOT_FOUND;
+use qei_mem::VirtAddr;
+use std::cmp::Ordering;
+
+/// Chained subtype id.
+pub const SUBTYPE_CHAINED: u8 = 0;
+/// Cuckoo subtype id.
+pub const SUBTYPE_CUCKOO: u8 = 1;
+
+/// Size of one cuckoo bucket entry (`sig` + `kv_ptr`).
+pub const CUCKOO_ENTRY_BYTES: u64 = 16;
+/// Offset of the value in a cuckoo key-value record.
+pub const KV_VALUE_OFF: u64 = 0;
+/// Offset of the key bytes in a cuckoo key-value record.
+pub const KV_KEY_OFF: u64 = 8;
+
+// ---------------------------------------------------------------------------
+// Chained hash table
+// ---------------------------------------------------------------------------
+
+const CH_HASH: u8 = 1;
+const CH_BUCKET: u8 = 2;
+const CH_MEM_N: u8 = 3;
+const CH_COMP: u8 = 4;
+
+/// CFA for the chained hash table (subtype 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainedHashCfa;
+
+impl CfaProgram for ChainedHashCfa {
+    fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
+        match (ctx.state, last) {
+            // Extra state before MEM: hash the key (paper §III-A).
+            (STATE_START, OpOutcome::Start) => {
+                ctx.state = CH_HASH;
+                MicroOp::Hash {
+                    seed: ctx.header.aux1,
+                }
+            }
+            (CH_HASH, OpOutcome::Hashed(h)) => {
+                let idx = h % ctx.header.capacity;
+                let slot = ctx.header.ds_ptr.0 + idx * 8;
+                ctx.state = CH_BUCKET;
+                MicroOp::Read {
+                    addr: VirtAddr(slot),
+                    len: 8,
+                }
+            }
+            (CH_BUCKET, OpOutcome::Data) => {
+                ctx.cursor = ctx.line_u64(0);
+                if ctx.cursor == 0 {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done {
+                        result: RESULT_NOT_FOUND,
+                    };
+                }
+                ctx.state = CH_MEM_N;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor),
+                    len: 24,
+                }
+            }
+            (CH_MEM_N, OpOutcome::Data) => {
+                ctx.cursor2 = ctx.line_u64(0); // next
+                ctx.acc = ctx.line_u64(16); // value
+                let key_ptr = ctx.line_u64(8);
+                ctx.state = CH_COMP;
+                MicroOp::Compare {
+                    addr: VirtAddr(key_ptr),
+                    len: ctx.header.key_len as u32,
+                    key_off: 0,
+                }
+            }
+            (CH_COMP, OpOutcome::Cmp(Ordering::Equal)) => {
+                ctx.state = STATE_DONE;
+                MicroOp::Done { result: ctx.acc }
+            }
+            (CH_COMP, OpOutcome::Cmp(_)) => {
+                ctx.cursor = ctx.cursor2;
+                if ctx.cursor == 0 {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done {
+                        result: RESULT_NOT_FOUND,
+                    };
+                }
+                ctx.state = CH_MEM_N;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor),
+                    len: 24,
+                }
+            }
+            (s, o) => unreachable!("chained-hash CFA: state {s} got {o:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hash-chained"
+    }
+
+    fn state_count(&self) -> u8 {
+        6
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cuckoo hash table
+// ---------------------------------------------------------------------------
+
+const CK_HASH1: u8 = 1;
+const CK_HASH2: u8 = 2;
+const CK_BUCKET: u8 = 3;
+const CK_SCAN: u8 = 4;
+const CK_COMP: u8 = 5;
+const CK_FETCH_KV: u8 = 6;
+
+/// CFA for the cuckoo hash table (subtype 1, DPDK-style).
+///
+/// Per query: hash ×2, read candidate bucket, signature-scan its entries
+/// (ALU), compare full keys for signature matches, fetch the key-value record
+/// on a hit — the paper's "header, key, bucket, and key-value pair" access
+/// pattern.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CuckooHashCfa;
+
+impl CuckooHashCfa {
+    fn bucket_addr(ctx: &QueryCtx, which: u64) -> u64 {
+        let idx = if which == 0 {
+            ctx.acc % ctx.header.capacity
+        } else {
+            // Alternate bucket: derived from the second hash.
+            ctx.cursor2 % ctx.header.capacity
+        };
+        let bucket_bytes = ctx.header.aux0 * CUCKOO_ENTRY_BYTES;
+        ctx.header.ds_ptr.0 + idx * bucket_bytes
+    }
+
+    /// Signature stored in bucket entries: high bits of the primary hash,
+    /// never zero (zero marks an empty slot).
+    pub fn signature(primary_hash: u64) -> u64 {
+        (primary_hash >> 16) | 1
+    }
+
+    fn scan_bucket(&self, ctx: &mut QueryCtx) -> MicroOp {
+        // ctx.line holds the bucket; counter low bits = entry index,
+        // bit 63 = which bucket (0 = primary, 1 = secondary).
+        let entries = ctx.header.aux0;
+        let sig = Self::signature(ctx.acc);
+        let start = ctx.counter & 0xFFFF;
+        for i in start..entries {
+            let off = (i * CUCKOO_ENTRY_BYTES) as usize;
+            let entry_sig = ctx.line_u64(off);
+            if entry_sig == sig {
+                let kv_ptr = ctx.line_u64(off + 8);
+                ctx.counter = (ctx.counter & !0xFFFF) | (i + 1);
+                ctx.cursor = kv_ptr;
+                ctx.state = CK_COMP;
+                return MicroOp::Compare {
+                    addr: VirtAddr(kv_ptr + KV_KEY_OFF),
+                    len: ctx.header.key_len as u32,
+                    key_off: 0,
+                };
+            }
+        }
+        // Bucket exhausted.
+        if ctx.counter >> 63 == 0 {
+            // Move to the secondary bucket.
+            ctx.counter = 1 << 63;
+            let addr = Self::bucket_addr(ctx, 1);
+            let len = (ctx.header.aux0 * CUCKOO_ENTRY_BYTES) as u32;
+            ctx.state = CK_BUCKET;
+            MicroOp::Read {
+                addr: VirtAddr(addr),
+                len,
+            }
+        } else {
+            ctx.state = STATE_DONE;
+            MicroOp::Done {
+                result: RESULT_NOT_FOUND,
+            }
+        }
+    }
+}
+
+impl CfaProgram for CuckooHashCfa {
+    fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
+        match (ctx.state, last) {
+            (STATE_START, OpOutcome::Start) => {
+                ctx.state = CK_HASH1;
+                MicroOp::Hash {
+                    seed: ctx.header.aux1,
+                }
+            }
+            (CK_HASH1, OpOutcome::Hashed(h)) => {
+                ctx.acc = h; // primary hash
+                ctx.state = CK_HASH2;
+                MicroOp::Hash {
+                    seed: ctx.header.aux2,
+                }
+            }
+            (CK_HASH2, OpOutcome::Hashed(h)) => {
+                ctx.cursor2 = h; // secondary hash
+                ctx.counter = 0;
+                let addr = Self::bucket_addr(ctx, 0);
+                let len = (ctx.header.aux0 * CUCKOO_ENTRY_BYTES) as u32;
+                ctx.state = CK_BUCKET;
+                MicroOp::Read {
+                    addr: VirtAddr(addr),
+                    len,
+                }
+            }
+            (CK_BUCKET, OpOutcome::Data) => {
+                // Signature scan costs ~1 ALU op per 4 entries (wide compare).
+                ctx.state = CK_SCAN;
+                MicroOp::Alu {
+                    n: (ctx.header.aux0 as u32).div_ceil(4),
+                }
+            }
+            (CK_SCAN, OpOutcome::AluDone) => self.scan_bucket(ctx),
+            (CK_COMP, OpOutcome::Cmp(Ordering::Equal)) => {
+                ctx.state = CK_FETCH_KV;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor + KV_VALUE_OFF),
+                    len: 8,
+                }
+            }
+            (CK_COMP, OpOutcome::Cmp(_)) => {
+                // Signature collision; keep scanning the staged bucket.
+                // NOTE: the staged bucket bytes are still in ctx.line only if
+                // the Compare did not overwrite them — Compare stages nothing,
+                // so the scan can continue.
+                self.scan_bucket(ctx)
+            }
+            (CK_FETCH_KV, OpOutcome::Data) => {
+                let value = ctx.line_u64(0);
+                ctx.state = STATE_DONE;
+                MicroOp::Done { result: value }
+            }
+            (s, o) => unreachable!("cuckoo CFA: state {s} got {o:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hash-cuckoo"
+    }
+
+    fn state_count(&self) -> u8 {
+        8
+    }
+}

@@ -1,0 +1,99 @@
+//! The linked-list query CFA (the paper's running example, Fig. 3).
+//!
+//! Node layout (24 bytes, matching the paper's `struct node { _key, _value,
+//! _next }` with an out-of-line key):
+//!
+//! | offset | field |
+//! |---|---|
+//! | 0 | `next` — pointer to the next node (0 terminates) |
+//! | 8 | `key_ptr` — pointer to the stored key bytes |
+//! | 16 | `value` — the associated value (returned on match) |
+//!
+//! Flow: fetch node → compare stored key → match: DONE(value); mismatch:
+//! chase `next` until null.
+
+use super::{CfaProgram, STATE_DONE, STATE_START};
+use crate::ctx::QueryCtx;
+use crate::uop::{MicroOp, OpOutcome};
+use crate::RESULT_NOT_FOUND;
+use qei_mem::VirtAddr;
+use std::cmp::Ordering;
+
+/// Byte offset of the `next` pointer in a node.
+pub const NODE_NEXT_OFF: u64 = 0;
+/// Byte offset of the key pointer in a node.
+pub const NODE_KEY_PTR_OFF: u64 = 8;
+/// Byte offset of the value in a node.
+pub const NODE_VALUE_OFF: u64 = 16;
+/// Node size in bytes.
+pub const NODE_BYTES: u64 = 24;
+
+/// CFA states (paper Fig. 3: IDLE → MEM.N → COMP → DONE).
+const STATE_MEM_N: u8 = 1;
+const STATE_COMP: u8 = 2;
+
+/// The linked-list CFA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkedListCfa;
+
+impl CfaProgram for LinkedListCfa {
+    fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
+        match (ctx.state, last) {
+            // 1: the query instruction triggers the fetch of the first node.
+            (STATE_START, OpOutcome::Start) => {
+                ctx.cursor = ctx.header.ds_ptr.0;
+                if ctx.cursor == 0 {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done {
+                        result: RESULT_NOT_FOUND,
+                    };
+                }
+                ctx.state = STATE_MEM_N;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor),
+                    len: NODE_BYTES as u32,
+                }
+            }
+            // Node fetched: stage next/value, issue the key comparison.
+            (STATE_MEM_N, OpOutcome::Data) => {
+                ctx.cursor2 = ctx.line_u64(NODE_NEXT_OFF as usize);
+                ctx.acc = ctx.line_u64(NODE_VALUE_OFF as usize);
+                let key_ptr = ctx.line_u64(NODE_KEY_PTR_OFF as usize);
+                ctx.state = STATE_COMP;
+                MicroOp::Compare {
+                    addr: VirtAddr(key_ptr),
+                    len: ctx.header.key_len as u32,
+                    key_off: 0,
+                }
+            }
+            // Comparison result: match returns the value; mismatch chases on.
+            (STATE_COMP, OpOutcome::Cmp(Ordering::Equal)) => {
+                ctx.state = STATE_DONE;
+                MicroOp::Done { result: ctx.acc }
+            }
+            (STATE_COMP, OpOutcome::Cmp(_)) => {
+                ctx.cursor = ctx.cursor2;
+                if ctx.cursor == 0 {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done {
+                        result: RESULT_NOT_FOUND,
+                    };
+                }
+                ctx.state = STATE_MEM_N;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor),
+                    len: NODE_BYTES as u32,
+                }
+            }
+            (s, o) => unreachable!("linked-list CFA: state {s} got {o:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "linked-list"
+    }
+
+    fn state_count(&self) -> u8 {
+        4 // START, MEM.N, COMP, DONE
+    }
+}

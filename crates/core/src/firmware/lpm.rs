@@ -1,0 +1,140 @@
+//! Longest-prefix-match CFA (trie subtype 1) — the routing-table lookup the
+//! paper's introduction motivates ("a network packet can query on a routing
+//! table to determine the output port").
+//!
+//! Reuses the trie node layout (`out`/`fail`/`child_count`/children), with
+//! byte-granular prefixes: `out` holds the next-hop id for routes ending at
+//! the node (0 = no route), `fail` is unused. The walk descends by address
+//! bytes, remembering the deepest non-zero next-hop; when no child matches
+//! (or the address is exhausted) it returns the remembered next-hop — the
+//! longest matching prefix.
+
+use super::trie::{
+    CHILD_ENTRY_BYTES, COMBINED_CHILDREN, NODE_CHILDREN_OFF, NODE_CHILD_COUNT_OFF,
+    NODE_COMBINED_BYTES, NODE_OUT_OFF,
+};
+use super::{CfaProgram, STATE_DONE, STATE_START};
+use crate::ctx::QueryCtx;
+use crate::uop::{MicroOp, OpOutcome};
+use crate::RESULT_NOT_FOUND;
+use qei_mem::VirtAddr;
+
+/// Trie subtype id for longest-prefix matching.
+pub const SUBTYPE_LPM: u8 = 1;
+
+const LPM_NODE: u8 = 1;
+const LPM_CHILDREN: u8 = 2;
+const LPM_SEARCH: u8 = 3;
+
+// ctx register use: cursor = current node, counter = address byte index,
+// acc = deepest next-hop seen.
+
+/// The LPM CFA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpmCfa;
+
+impl LpmCfa {
+    fn fetch_node(ctx: &mut QueryCtx) -> MicroOp {
+        ctx.state = LPM_NODE;
+        MicroOp::Read {
+            addr: VirtAddr(ctx.cursor),
+            len: NODE_COMBINED_BYTES as u32,
+        }
+    }
+
+    fn finish(ctx: &mut QueryCtx) -> MicroOp {
+        ctx.state = STATE_DONE;
+        MicroOp::Done {
+            result: if ctx.acc == 0 {
+                RESULT_NOT_FOUND
+            } else {
+                ctx.acc
+            },
+        }
+    }
+
+    fn find_child(ctx: &QueryCtx, count: usize, byte: u8) -> Option<u64> {
+        let (mut lo, mut hi) = (0usize, count);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let off = mid * CHILD_ENTRY_BYTES as usize;
+            match ctx.line_u8(off).cmp(&byte) {
+                std::cmp::Ordering::Equal => return Some(ctx.line_u64(off + 8)),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+}
+
+impl CfaProgram for LpmCfa {
+    fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
+        match (ctx.state, last) {
+            (STATE_START, OpOutcome::Start) => {
+                ctx.cursor = ctx.header.ds_ptr.0;
+                ctx.counter = 0;
+                ctx.acc = 0;
+                if ctx.cursor == 0 || ctx.key.is_empty() {
+                    return Self::finish(ctx);
+                }
+                Self::fetch_node(ctx)
+            }
+            (LPM_NODE, OpOutcome::Data) => {
+                // Remember the deepest route seen so far.
+                let hop = ctx.line_u64(NODE_OUT_OFF as usize);
+                if hop != 0 {
+                    ctx.acc = hop;
+                }
+                if ctx.counter as usize >= ctx.key.len() {
+                    return Self::finish(ctx);
+                }
+                let count = ctx.line_u16(NODE_CHILD_COUNT_OFF as usize) as u64;
+                if count == 0 {
+                    return Self::finish(ctx);
+                }
+                if count <= COMBINED_CHILDREN {
+                    ctx.line.drain(..NODE_CHILDREN_OFF as usize);
+                    ctx.line.truncate((count * CHILD_ENTRY_BYTES) as usize);
+                    ctx.state = LPM_SEARCH;
+                    return MicroOp::Alu {
+                        n: (u64::BITS - count.leading_zeros()).max(1),
+                    };
+                }
+                ctx.state = LPM_CHILDREN;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor + NODE_CHILDREN_OFF),
+                    len: (count * CHILD_ENTRY_BYTES) as u32,
+                }
+            }
+            (LPM_CHILDREN, OpOutcome::Data) => {
+                let count = (ctx.line.len() / CHILD_ENTRY_BYTES as usize).max(1);
+                ctx.state = LPM_SEARCH;
+                MicroOp::Alu {
+                    n: (usize::BITS - count.leading_zeros()).max(1),
+                }
+            }
+            (LPM_SEARCH, OpOutcome::AluDone) => {
+                let count = ctx.line.len() / CHILD_ENTRY_BYTES as usize;
+                let byte = ctx.key[ctx.counter as usize];
+                match Self::find_child(ctx, count, byte) {
+                    Some(child) => {
+                        ctx.cursor = child;
+                        ctx.counter += 1;
+                        Self::fetch_node(ctx)
+                    }
+                    None => Self::finish(ctx),
+                }
+            }
+            (s, o) => unreachable!("LPM CFA: state {s} got {o:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "trie-lpm"
+    }
+
+    fn state_count(&self) -> u8 {
+        5
+    }
+}

@@ -1,0 +1,212 @@
+//! The skip-list query CFA (RocksDB-memtable-style).
+//!
+//! Node layout:
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 2 | `levels` — number of forward pointers this node has |
+//! | 8 | 8 | `key_ptr` — pointer to the stored key bytes (0 = head sentinel) |
+//! | 16 | 8 | `value` |
+//! | 24 | 8·levels | `next[level]` forward pointers |
+//!
+//! Keys are sorted lexicographically (memcmp order — RocksDB's default
+//! bytewise comparator). The head sentinel has `header.aux0` levels and
+//! compares below every key. Search walks from the top level down, moving
+//! right while the successor's key is less than the query key — the paper's
+//! "slight modification to the comparison state (adding `>` and `<`)" over
+//! the linked-list CFA.
+//!
+//! The CFA stages each visited node's header *and* the portion of its
+//! forward-pointer array it can still need (`next[0..=level]` — the walk
+//! only descends), so revisiting the current node at lower levels costs an
+//! ALU transition instead of another memory micro-op. A node is linked at
+//! level `L` only if it has at least `L+1` towers, so the staged read never
+//! overruns the allocation.
+
+use super::{CfaProgram, STATE_DONE, STATE_START};
+use crate::ctx::QueryCtx;
+use crate::uop::{MicroOp, OpOutcome};
+use crate::RESULT_NOT_FOUND;
+use qei_mem::VirtAddr;
+use std::cmp::Ordering;
+
+/// Offset of the level count in a node.
+pub const NODE_LEVELS_OFF: u64 = 0;
+/// Offset of the key pointer in a node.
+pub const NODE_KEY_PTR_OFF: u64 = 8;
+/// Offset of the value in a node.
+pub const NODE_VALUE_OFF: u64 = 16;
+/// Offset of the forward-pointer array in a node.
+pub const NODE_NEXT_BASE_OFF: u64 = 24;
+
+/// Size of a node with `levels` forward pointers.
+pub fn node_bytes(levels: u64) -> u64 {
+    NODE_NEXT_BASE_OFF + 8 * levels
+}
+
+// States. ctx register use:
+//   cursor   = current node (whose relevant slice is staged in CUR states)
+//   cursor2  = candidate successor
+//   counter  = current level; bits 16.. hold the last rejected node
+//   acc      = candidate's value
+//   scratch  = current node's next[0..8] (the QST 64 B data field)
+const SL_CUR: u8 = 1; // current node staged; decide from next[level]
+const SL_CAND: u8 = 2; // candidate node staged; issue the comparison
+const SL_COMP: u8 = 3; // comparison outcome pending
+const SL_NEXT8: u8 = 4; // single forward-pointer refetch after a rejection
+
+/// Forward pointers the QST data field can retain.
+const SCRATCH_LEVELS: u64 = 8;
+
+/// The skip-list CFA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SkipListCfa;
+
+impl SkipListCfa {
+    fn level(ctx: &QueryCtx) -> u64 {
+        ctx.counter & 0xFFFF
+    }
+
+    fn set_level(ctx: &mut QueryCtx, level: u64) {
+        ctx.counter = (ctx.counter & !0xFFFF) | level;
+    }
+
+    fn rejected(ctx: &QueryCtx) -> u64 {
+        ctx.counter >> 16
+    }
+
+    fn set_rejected(ctx: &mut QueryCtx, node: u64) {
+        // Heap addresses fit in 48 bits; the level field keeps the low 16.
+        ctx.counter = (node << 16) | (ctx.counter & 0xFFFF);
+    }
+
+    /// Copies the staged node's forward pointers into the QST data field.
+    fn retain_next_array(ctx: &mut QueryCtx, up_to_level: u64) {
+        for l in 0..=up_to_level.min(SCRATCH_LEVELS - 1) {
+            ctx.scratch[l as usize] =
+                ctx.line_u64((NODE_NEXT_BASE_OFF + 8 * l) as usize);
+        }
+    }
+
+    /// Reads a candidate node: header plus the forward pointers the walk can
+    /// still use (`next[0..=level]`). Re-encountering the node that was just
+    /// rejected (towers span levels) is resolved from the retained verdict
+    /// without refetch or re-comparison.
+    fn fetch_candidate(ctx: &mut QueryCtx, node: u64) -> MicroOp {
+        if node == Self::rejected(ctx) {
+            return Self::descend(ctx);
+        }
+        ctx.cursor2 = node;
+        ctx.state = SL_CAND;
+        MicroOp::Read {
+            addr: VirtAddr(node),
+            len: (NODE_NEXT_BASE_OFF + 8 * (Self::level(ctx) + 1)) as u32,
+        }
+    }
+
+    /// Decides the next move using the retained forward pointers.
+    fn decide_from_scratch(ctx: &mut QueryCtx) -> MicroOp {
+        let level = Self::level(ctx);
+        if level < SCRATCH_LEVELS {
+            let nxt = ctx.scratch[level as usize];
+            if nxt == 0 {
+                return Self::descend(ctx);
+            }
+            return Self::fetch_candidate(ctx, nxt);
+        }
+        // Beyond the retained window: refetch the single pointer.
+        ctx.state = SL_NEXT8;
+        MicroOp::Read {
+            addr: VirtAddr(ctx.cursor + NODE_NEXT_BASE_OFF + 8 * level),
+            len: 8,
+        }
+    }
+
+    /// Descends one level (an ALU transition; pointers are retained).
+    fn descend(ctx: &mut QueryCtx) -> MicroOp {
+        let level = Self::level(ctx);
+        if level == 0 {
+            ctx.state = STATE_DONE;
+            return MicroOp::Done {
+                result: RESULT_NOT_FOUND,
+            };
+        }
+        Self::set_level(ctx, level - 1);
+        ctx.state = SL_CUR;
+        MicroOp::Alu { n: 1 }
+    }
+}
+
+impl CfaProgram for SkipListCfa {
+    fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
+        match (ctx.state, last) {
+            (STATE_START, OpOutcome::Start) => {
+                ctx.cursor = ctx.header.ds_ptr.0;
+                Self::set_level(ctx, ctx.header.aux0 - 1); // top level
+                if ctx.cursor == 0 {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done {
+                        result: RESULT_NOT_FOUND,
+                    };
+                }
+                // Stage the head: header + all forward pointers.
+                ctx.state = SL_CUR;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor),
+                    len: (NODE_NEXT_BASE_OFF + 8 * ctx.header.aux0) as u32,
+                }
+            }
+            (SL_CUR, OpOutcome::Data) => {
+                // Arrival read completed: retain the pointer array.
+                Self::retain_next_array(ctx, Self::level(ctx));
+                Self::decide_from_scratch(ctx)
+            }
+            (SL_CUR, OpOutcome::AluDone) => Self::decide_from_scratch(ctx),
+            (SL_CAND, OpOutcome::Data) => {
+                let key_ptr = ctx.line_u64(NODE_KEY_PTR_OFF as usize);
+                ctx.acc = ctx.line_u64(NODE_VALUE_OFF as usize);
+                ctx.state = SL_COMP;
+                MicroOp::Compare {
+                    addr: VirtAddr(key_ptr),
+                    len: ctx.header.key_len as u32,
+                    key_off: 0,
+                }
+            }
+            (SL_COMP, OpOutcome::Cmp(Ordering::Equal)) => {
+                ctx.state = STATE_DONE;
+                MicroOp::Done { result: ctx.acc }
+            }
+            (SL_COMP, OpOutcome::Cmp(Ordering::Less)) => {
+                // Advance: the candidate (still staged) becomes current.
+                ctx.cursor = ctx.cursor2;
+                Self::retain_next_array(ctx, Self::level(ctx));
+                ctx.state = SL_CUR;
+                MicroOp::Alu { n: 1 }
+            }
+            (SL_COMP, OpOutcome::Cmp(Ordering::Greater)) => {
+                Self::set_rejected(ctx, ctx.cursor2);
+                Self::descend(ctx)
+            }
+            (SL_NEXT8, OpOutcome::Data) => {
+                let nxt = ctx.line_u64(0);
+                if nxt == 0 {
+                    return Self::descend(ctx);
+                }
+                Self::fetch_candidate(ctx, nxt)
+            }
+            (s, o) => unreachable!("skip-list CFA: state {s} got {o:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "skip-list"
+    }
+
+    fn state_count(&self) -> u8 {
+        6
+    }
+
+    // NOTE: the retained-pointer optimization relies on the skip list being
+    // immutable during a query — the paper's usage model (updates are
+    // software-side and synchronized).
+}

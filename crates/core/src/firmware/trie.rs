@@ -1,0 +1,211 @@
+//! The trie / Aho–Corasick query CFA (the Snort literal-matching workload).
+//!
+//! The structure is an AC automaton: a byte trie whose nodes carry failure
+//! links and precomputed output counts. One *query* scans an entire input
+//! text (the query "key") through the automaton and returns the total number
+//! of keyword occurrences — the trie flavor of the paper's abstraction, with
+//! an index-table-search state inserted between `MEM.N` and `COMP` (§III-A).
+//!
+//! Node layout:
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 8 | `out` — keyword matches ending at this node (output-link total) |
+//! | 8 | 8 | `fail` — failure link (0 at the root) |
+//! | 16 | 2 | `child_count` |
+//! | 18 | 6 | padding |
+//! | 24 | 16·n | children, sorted by byte: `{byte: u8, pad: [u8;7], ptr: u64}` |
+
+use super::{CfaProgram, STATE_DONE, STATE_START};
+use crate::ctx::QueryCtx;
+use crate::uop::{MicroOp, OpOutcome};
+use qei_mem::VirtAddr;
+
+/// Offset of the output count.
+pub const NODE_OUT_OFF: u64 = 0;
+/// Offset of the failure link.
+pub const NODE_FAIL_OFF: u64 = 8;
+/// Offset of the child count.
+pub const NODE_CHILD_COUNT_OFF: u64 = 16;
+/// Offset of the child array.
+pub const NODE_CHILDREN_OFF: u64 = 24;
+/// Size of one child entry.
+pub const CHILD_ENTRY_BYTES: u64 = 16;
+
+/// Header size of a node (before the child array).
+pub const NODE_HEADER_BYTES: u64 = 24;
+
+/// Combined fetch size: one cache line covers the header plus the first
+/// `(64-24)/16 = 2` children — most trie nodes below the root are narrow,
+/// so a single memory micro-op usually suffices.
+pub const NODE_COMBINED_BYTES: u64 = 64;
+
+/// Children covered by the combined fetch.
+pub const COMBINED_CHILDREN: u64 = (NODE_COMBINED_BYTES - NODE_CHILDREN_OFF) / CHILD_ENTRY_BYTES;
+
+const TR_NODE: u8 = 1; // node header fetched (arrived by consuming a byte)
+const TR_CHILDREN: u8 = 2; // child array fetched
+const TR_SEARCH: u8 = 3; // index-table search (ALU)
+const TR_NODE_FAIL: u8 = 4; // node header fetched after a failure-link hop
+
+// ctx register use:
+//   cursor   = current node
+//   cursor2  = scratch: fail link of current node
+//   counter  = text position
+//   acc      = accumulated match count
+// The child array is staged in ctx.line during the search.
+
+/// The trie/AC CFA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrieCfa;
+
+impl TrieCfa {
+    fn fetch_node(ctx: &mut QueryCtx) -> MicroOp {
+        ctx.state = TR_NODE;
+        MicroOp::Read {
+            addr: VirtAddr(ctx.cursor),
+            len: NODE_COMBINED_BYTES as u32,
+        }
+    }
+
+    /// Binary-search the staged child array for `byte`; returns the child
+    /// pointer if present.
+    fn find_child(ctx: &QueryCtx, count: usize, byte: u8) -> Option<u64> {
+        let (mut lo, mut hi) = (0usize, count);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let off = mid * CHILD_ENTRY_BYTES as usize;
+            let b = ctx.line_u8(off);
+            match b.cmp(&byte) {
+                std::cmp::Ordering::Equal => return Some(ctx.line_u64(off + 8)),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    fn advance(ctx: &mut QueryCtx, child: Option<u64>) -> MicroOp {
+        match child {
+            Some(ptr) => {
+                ctx.cursor = ptr;
+                ctx.counter += 1;
+            }
+            None => {
+                if ctx.cursor2 == 0 {
+                    // At the root with no matching child: consume the byte.
+                    ctx.counter += 1;
+                } else {
+                    // Follow the failure link without consuming. Output
+                    // counts are *not* re-added on this path: the out-sums
+                    // are precomputed along failure chains, so counting them
+                    // again on a fail hop would double-count.
+                    ctx.cursor = ctx.cursor2;
+                    ctx.state = TR_NODE_FAIL;
+                    return MicroOp::Read {
+                        addr: VirtAddr(ctx.cursor),
+                        len: NODE_COMBINED_BYTES as u32,
+                    };
+                }
+            }
+        }
+        if ctx.counter as usize >= ctx.key.len() {
+            // Text exhausted. If we just moved to a child, its outputs have
+            // not been counted yet — fetch it one last time.
+            if child.is_some() {
+                return Self::fetch_final(ctx);
+            }
+            ctx.state = STATE_DONE;
+            return MicroOp::Done { result: ctx.acc };
+        }
+        if child.is_some() {
+            Self::fetch_node(ctx)
+        } else {
+            // Stayed at the root; its child array may still be staged but the
+            // hardware refetches the node header (root stays LLC-hot).
+            Self::fetch_node(ctx)
+        }
+    }
+
+    fn fetch_final(ctx: &mut QueryCtx) -> MicroOp {
+        ctx.state = TR_SEARCH; // reuse: next Data adds out then finishes
+        ctx.counter |= 1 << 63; // mark: finishing fetch
+        MicroOp::Read {
+            addr: VirtAddr(ctx.cursor),
+            len: NODE_HEADER_BYTES as u32,
+        }
+    }
+}
+
+impl CfaProgram for TrieCfa {
+    fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
+        match (ctx.state, last) {
+            (STATE_START, OpOutcome::Start) => {
+                ctx.cursor = ctx.header.ds_ptr.0;
+                ctx.counter = 0;
+                ctx.acc = 0;
+                if ctx.cursor == 0 || ctx.key.is_empty() {
+                    ctx.state = STATE_DONE;
+                    return MicroOp::Done { result: 0 };
+                }
+                Self::fetch_node(ctx)
+            }
+            (TR_NODE, OpOutcome::Data) | (TR_NODE_FAIL, OpOutcome::Data) => {
+                if ctx.state == TR_NODE {
+                    ctx.acc += ctx.line_u64(NODE_OUT_OFF as usize);
+                }
+                ctx.cursor2 = ctx.line_u64(NODE_FAIL_OFF as usize);
+                let count = ctx.line_u16(NODE_CHILD_COUNT_OFF as usize) as u64;
+                if count == 0 {
+                    // Leaf: no children to search.
+                    return Self::advance(ctx, None);
+                }
+                if count <= COMBINED_CHILDREN {
+                    // The combined fetch already staged every child: strip
+                    // the header so the search sees the child array, then
+                    // run the index-table search.
+                    ctx.line.drain(..NODE_CHILDREN_OFF as usize);
+                    ctx.line.truncate((count * CHILD_ENTRY_BYTES) as usize);
+                    ctx.state = TR_SEARCH;
+                    return MicroOp::Alu {
+                        n: (u64::BITS - count.leading_zeros()).max(1),
+                    };
+                }
+                ctx.state = TR_CHILDREN;
+                MicroOp::Read {
+                    addr: VirtAddr(ctx.cursor + NODE_CHILDREN_OFF),
+                    len: (count * CHILD_ENTRY_BYTES) as u32,
+                }
+            }
+            (TR_CHILDREN, OpOutcome::Data) => {
+                // Index-table search: ~log2(n) ALU steps.
+                let count = (ctx.line.len() / CHILD_ENTRY_BYTES as usize).max(1);
+                ctx.state = TR_SEARCH;
+                MicroOp::Alu {
+                    n: (usize::BITS - count.leading_zeros()).max(1),
+                }
+            }
+            (TR_SEARCH, OpOutcome::AluDone) => {
+                let count = ctx.line.len() / CHILD_ENTRY_BYTES as usize;
+                let byte = ctx.key[(ctx.counter & !(1 << 63)) as usize];
+                let child = Self::find_child(ctx, count, byte);
+                Self::advance(ctx, child)
+            }
+            (TR_SEARCH, OpOutcome::Data) => {
+                // Finishing fetch after the last text byte.
+                ctx.acc += ctx.line_u64(NODE_OUT_OFF as usize);
+                ctx.state = STATE_DONE;
+                MicroOp::Done { result: ctx.acc }
+            }
+            (s, o) => unreachable!("trie CFA: state {s} got {o:?}"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "trie-ac"
+    }
+
+    fn state_count(&self) -> u8 {
+        7
+    }
+}

@@ -1,0 +1,286 @@
+//! The 64-byte data-structure header (paper Fig. 4).
+//!
+//! Software describes each queried structure with a single-cacheline header
+//! holding the "metadata" the CFA needs: the pointer to the structure, its
+//! type and subtype, the stored key length, the structure size (for static
+//! structures like hash tables), and flags/reserved space. Software populates
+//! the header; the CFA parses it before executing a query.
+//!
+//! Wire layout (little-endian):
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 8 | `ds_ptr` — root node / bucket array pointer |
+//! | 8  | 1 | `dtype` |
+//! | 9  | 1 | `subtype` |
+//! | 10 | 2 | `key_len` |
+//! | 12 | 4 | `flags` |
+//! | 16 | 8 | `capacity` (bucket count / node count hint) |
+//! | 24 | 8 | `aux0` (bucket entries, skip-list max level, …) |
+//! | 32 | 8 | `aux1` (hash seed 1) |
+//! | 40 | 8 | `aux2` (hash seed 2) |
+//! | 48 | 16 | reserved |
+
+use crate::fault::FaultCode;
+use qei_mem::{GuestMem, MemError, VirtAddr};
+
+/// Header size: exactly one cache line.
+pub const HEADER_BYTES: u64 = 64;
+
+/// The data-structure types with CFAs pre-loaded in the CEE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DsType {
+    /// Singly linked list with out-of-line keys.
+    LinkedList,
+    /// Hash table. Subtype 0 = chained (a hash of linked lists — the paper's
+    /// "combined data structure" example), subtype 1 = cuckoo with
+    /// signature-tagged buckets (DPDK-style).
+    HashTable,
+    /// Skip list (RocksDB-memtable-style), sorted, out-of-line keys.
+    SkipList,
+    /// Binary search tree / object tree (numeric big-endian inline keys).
+    Bst,
+    /// Byte trie with failure links (Aho–Corasick automaton).
+    Trie,
+    /// A type installed by firmware update (paper §IV-B): the byte is
+    /// resolved against the [`crate::FirmwareStore`] at query time.
+    Custom(u8),
+}
+
+impl DsType {
+    /// Wire encoding of the type byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            DsType::LinkedList => 1,
+            DsType::HashTable => 2,
+            DsType::SkipList => 3,
+            DsType::Bst => 4,
+            DsType::Trie => 5,
+            DsType::Custom(b) => b,
+        }
+    }
+
+    /// Decodes a type byte. Zero is reserved (an uninitialized header);
+    /// bytes outside the built-in range decode as [`DsType::Custom`] and are
+    /// resolved against the installed firmware at query time.
+    pub fn from_byte(b: u8) -> Option<DsType> {
+        match b {
+            0 => None,
+            1 => Some(DsType::LinkedList),
+            2 => Some(DsType::HashTable),
+            3 => Some(DsType::SkipList),
+            4 => Some(DsType::Bst),
+            5 => Some(DsType::Trie),
+            other => Some(DsType::Custom(other)),
+        }
+    }
+
+    /// All built-in types.
+    pub const ALL: [DsType; 5] = [
+        DsType::LinkedList,
+        DsType::HashTable,
+        DsType::SkipList,
+        DsType::Bst,
+        DsType::Trie,
+    ];
+}
+
+/// Parsed header contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Pointer to the structure (root node or bucket array).
+    pub ds_ptr: VirtAddr,
+    /// Data-structure type.
+    pub dtype: DsType,
+    /// Type-specific variant selector.
+    pub subtype: u8,
+    /// Stored key length in bytes.
+    pub key_len: u16,
+    /// Flag bits (reserved; must round-trip).
+    pub flags: u32,
+    /// Structure capacity (e.g. hash bucket count).
+    pub capacity: u64,
+    /// Type-specific parameter 0 (bucket entries / max level).
+    pub aux0: u64,
+    /// Type-specific parameter 1 (hash seed 1).
+    pub aux1: u64,
+    /// Type-specific parameter 2 (hash seed 2).
+    pub aux2: u64,
+}
+
+impl Header {
+    /// Serializes to the 64-byte wire format.
+    pub fn to_bytes(&self) -> [u8; HEADER_BYTES as usize] {
+        let mut b = [0u8; HEADER_BYTES as usize];
+        b[0..8].copy_from_slice(&self.ds_ptr.0.to_le_bytes());
+        b[8] = self.dtype.to_byte();
+        b[9] = self.subtype;
+        b[10..12].copy_from_slice(&self.key_len.to_le_bytes());
+        b[12..16].copy_from_slice(&self.flags.to_le_bytes());
+        b[16..24].copy_from_slice(&self.capacity.to_le_bytes());
+        b[24..32].copy_from_slice(&self.aux0.to_le_bytes());
+        b[32..40].copy_from_slice(&self.aux1.to_le_bytes());
+        b[40..48].copy_from_slice(&self.aux2.to_le_bytes());
+        b
+    }
+
+    /// Parses the wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultCode::UnknownType`] for an unrecognized type byte,
+    /// [`FaultCode::MalformedHeader`] for invalid field combinations.
+    pub fn from_bytes(b: &[u8; HEADER_BYTES as usize]) -> Result<Header, FaultCode> {
+        let dtype = DsType::from_byte(b[8]).ok_or(FaultCode::UnknownType)?;
+        let h = Header {
+            ds_ptr: VirtAddr(u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"))),
+            dtype,
+            subtype: b[9],
+            key_len: u16::from_le_bytes(b[10..12].try_into().expect("2 bytes")),
+            flags: u32::from_le_bytes(b[12..16].try_into().expect("4 bytes")),
+            capacity: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+            aux0: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
+            aux1: u64::from_le_bytes(b[32..40].try_into().expect("8 bytes")),
+            aux2: u64::from_le_bytes(b[40..48].try_into().expect("8 bytes")),
+        };
+        h.validate()?;
+        Ok(h)
+    }
+
+    /// Checks field combinations the hardware would reject.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultCode::MalformedHeader`] when a field is out of range for the
+    /// structure type.
+    pub fn validate(&self) -> Result<(), FaultCode> {
+        if self.key_len == 0 || self.key_len > 4096 {
+            return Err(FaultCode::MalformedHeader);
+        }
+        match self.dtype {
+            DsType::HashTable => {
+                if self.capacity == 0 {
+                    return Err(FaultCode::MalformedHeader);
+                }
+                if self.subtype == 1 && !(1..=16).contains(&self.aux0) {
+                    return Err(FaultCode::MalformedHeader);
+                }
+            }
+            DsType::SkipList => {
+                if !(1..=32).contains(&self.aux0) {
+                    return Err(FaultCode::MalformedHeader);
+                }
+            }
+            DsType::Bst => {
+                if self.key_len != 8 {
+                    return Err(FaultCode::MalformedHeader);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Writes the header into guest memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest memory translation failures.
+    pub fn write_to(&self, mem: &mut GuestMem, addr: VirtAddr) -> Result<(), MemError> {
+        mem.write(addr, &self.to_bytes())
+    }
+
+    /// Reads and parses a header from guest memory.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultCode::PageFault`]/[`FaultCode::NullPointer`] if the header
+    /// address is bad; header-validation faults otherwise.
+    pub fn read_from(mem: &GuestMem, addr: VirtAddr) -> Result<Header, FaultCode> {
+        let mut b = [0u8; HEADER_BYTES as usize];
+        mem.read(addr, &mut b).map_err(FaultCode::from)?;
+        Header::from_bytes(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header {
+            ds_ptr: VirtAddr(0x7f00_0000_1000),
+            dtype: DsType::HashTable,
+            subtype: 1,
+            key_len: 16,
+            flags: 0xA5,
+            capacity: 1024,
+            aux0: 8,
+            aux1: 0x1111,
+            aux2: 0x2222,
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let h = sample();
+        let b = h.to_bytes();
+        assert_eq!(Header::from_bytes(&b).unwrap(), h);
+    }
+
+    #[test]
+    fn type_bytes_round_trip() {
+        for t in DsType::ALL {
+            assert_eq!(DsType::from_byte(t.to_byte()), Some(t));
+        }
+        assert_eq!(DsType::from_byte(0), None);
+        assert_eq!(DsType::from_byte(200), Some(DsType::Custom(200)));
+        assert_eq!(DsType::Custom(200).to_byte(), 200);
+    }
+
+    #[test]
+    fn zero_type_rejected_custom_accepted() {
+        let mut b = sample().to_bytes();
+        b[8] = 0;
+        assert_eq!(Header::from_bytes(&b), Err(FaultCode::UnknownType));
+        b[8] = 77;
+        let h = Header::from_bytes(&b).unwrap();
+        assert_eq!(h.dtype, DsType::Custom(77));
+    }
+
+    #[test]
+    fn validation_rules() {
+        let mut h = sample();
+        h.key_len = 0;
+        assert_eq!(h.validate(), Err(FaultCode::MalformedHeader));
+
+        let mut h = sample();
+        h.capacity = 0;
+        assert_eq!(h.validate(), Err(FaultCode::MalformedHeader));
+
+        let mut h = sample();
+        h.dtype = DsType::Bst;
+        h.key_len = 16; // BSTs require 8-byte keys
+        assert_eq!(h.validate(), Err(FaultCode::MalformedHeader));
+
+        let mut h = sample();
+        h.dtype = DsType::SkipList;
+        h.aux0 = 0; // max level must be >= 1
+        assert_eq!(h.validate(), Err(FaultCode::MalformedHeader));
+    }
+
+    #[test]
+    fn guest_memory_round_trip() {
+        let mut mem = GuestMem::new(3);
+        let addr = mem.alloc(HEADER_BYTES, 64).unwrap();
+        let h = sample();
+        h.write_to(&mut mem, addr).unwrap();
+        assert_eq!(Header::read_from(&mem, addr).unwrap(), h);
+    }
+
+    #[test]
+    fn header_is_one_cacheline() {
+        assert_eq!(HEADER_BYTES, 64);
+        assert_eq!(sample().to_bytes().len(), 64);
+    }
+}

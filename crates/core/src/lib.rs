@@ -1,0 +1,48 @@
+//! The QEI accelerator — the paper's primary contribution.
+//!
+//! QEI accelerates data-query (lookup) operations on common data structures
+//! by abstracting every query into a small set of regular steps and mapping
+//! each structure to a *configurable finite automaton* (CFA). The hardware is
+//! three cooperating blocks:
+//!
+//! * **Query State Table ([`qst`])** — 10 entries holding the state of
+//!   in-flight queries so the engine can time-multiplex them and extract
+//!   memory-level parallelism;
+//! * **CFA Execution Engine ([`firmware`])** — a microcoded control machine
+//!   holding the state-transition rules for each structure's query flow; it is
+//!   extensible at runtime ("firmware update") through
+//!   [`firmware::FirmwareStore::register`];
+//! * **Data Processing Unit ([`dpu`])** — ALUs, key comparators, and a hash
+//!   unit that execute the micro-operations the CFAs emit.
+//!
+//! Queries enter through two instruction flavors: blocking `QUERY_B` (behaves
+//! like a long-latency load) and non-blocking `QUERY_NB` (behaves like a
+//! store; the result is written to a software-supplied address). Software
+//! describes each queried structure with a 64-byte in-memory [`header`].
+//!
+//! [`accel::QeiAccelerator`] is the timing model: it walks the same CFAs over
+//! the same guest bytes as the functional engine, pricing every micro-op
+//! against the cache/NoC/TLB substrate under one of the five
+//! [`qei_config::Scheme`] integration schemes.
+
+pub mod accel;
+pub mod ctx;
+pub mod dpu;
+pub mod exec;
+pub mod fault;
+pub mod firmware;
+pub mod header;
+pub mod qst;
+pub mod uop;
+
+pub use accel::{AccelStats, BlockingOutcome, QeiAccelerator};
+pub use ctx::QueryCtx;
+pub use exec::run_query;
+pub use fault::FaultCode;
+pub use firmware::{CfaProgram, FirmwareStore};
+pub use header::{DsType, Header, HEADER_BYTES};
+pub use qst::QueryStateTable;
+pub use uop::{MicroOp, OpOutcome};
+
+/// Result encoding: a query that finds no match returns this value.
+pub const RESULT_NOT_FOUND: u64 = 0;

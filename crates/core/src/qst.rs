@@ -1,0 +1,207 @@
+//! The Query State Table (paper §IV-B).
+//!
+//! The QST stores the architectural state of all in-flight queries
+//! (key address, result address, type, CFA state, 64 B intermediate data,
+//! mode, ready bit) and acts as the scheduler table: every cycle the CEE
+//! selects a ready entry in FIFO order. In this reproduction the functional
+//! per-query state lives in [`crate::QueryCtx`]; the QST models the *resource*
+//! — slot occupancy over time — which is what bounds the accelerator's
+//! memory-level parallelism (10 entries in the evaluated configuration).
+
+use qei_config::Cycles;
+
+/// Occupancy/utilization statistics for one QST instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QstStats {
+    /// Queries that occupied a slot.
+    pub queries: u64,
+    /// Total busy slot-cycles (sum over slots of busy time).
+    pub busy_slot_cycles: u64,
+    /// Cycles callers spent waiting for a free slot.
+    pub wait_cycles: u64,
+    /// Latest completion time seen.
+    pub last_completion: Cycles,
+}
+
+impl QstStats {
+    /// Mean occupancy over `window` cycles for a table with `entries` slots,
+    /// in `[0, 1]` (the paper reports 50–90% at 10 entries).
+    pub fn occupancy(&self, entries: u32, window: Cycles) -> f64 {
+        if window.as_u64() == 0 {
+            return 0.0;
+        }
+        self.busy_slot_cycles as f64 / (entries as u64 * window.as_u64()) as f64
+    }
+}
+
+/// One QST instance: a fixed number of slots with busy-until times.
+#[derive(Debug, Clone)]
+pub struct QueryStateTable {
+    slots: Vec<Cycles>,
+    stats: QstStats,
+}
+
+impl QueryStateTable {
+    /// Creates a table with `entries` slots, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries > 0, "QST needs at least one entry");
+        QueryStateTable {
+            slots: vec![Cycles::ZERO; entries as usize],
+            stats: QstStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn entries(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Number of slots busy at time `now`.
+    pub fn busy_at(&self, now: Cycles) -> u32 {
+        self.slots.iter().filter(|&&b| b > now).count() as u32
+    }
+
+    /// Earliest time a slot is (or becomes) free at or after `now`.
+    pub fn earliest_free(&self, now: Cycles) -> Cycles {
+        self.slots
+            .iter()
+            .map(|&b| b.max(now))
+            .min()
+            .expect("nonempty")
+    }
+
+    /// Claims a slot for a query arriving at `arrive`; the query will occupy
+    /// it until `release` (filled in by [`QueryStateTable::complete`]).
+    /// Returns the actual start time (≥ `arrive`; later if the table is full
+    /// — the caller observes backpressure) and the slot index.
+    pub fn claim(&mut self, arrive: Cycles) -> (Cycles, usize) {
+        let (idx, &busy) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| b)
+            .expect("nonempty");
+        let start = busy.max(arrive);
+        self.stats.queries += 1;
+        self.stats.wait_cycles += (start - arrive).as_u64();
+        (start, idx)
+    }
+
+    /// Marks the claimed slot busy from `start` until `completion` (the entry
+    /// is released — ready bit cleared — when the query finishes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completion < start` or the slot index is invalid.
+    pub fn complete(&mut self, slot: usize, start: Cycles, completion: Cycles) {
+        assert!(completion >= start, "completion before start");
+        self.slots[slot] = completion;
+        self.stats.busy_slot_cycles += (completion - start).as_u64();
+        self.stats.last_completion = self.stats.last_completion.max(completion);
+    }
+
+    /// Flushes the table at `now` (interrupt handling, §IV-D): every busy
+    /// entry is aborted. Returns the number of aborted queries; the caller
+    /// charges the abort-write cost for the non-blocking ones.
+    pub fn flush(&mut self, now: Cycles) -> u32 {
+        let mut aborted = 0;
+        for b in &mut self.slots {
+            if *b > now {
+                // Busy time beyond `now` is forfeited.
+                self.stats.busy_slot_cycles =
+                    self.stats.busy_slot_cycles.saturating_sub((*b - now).as_u64());
+                *b = now;
+                aborted += 1;
+            }
+        }
+        aborted
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> QstStats {
+        self.stats
+    }
+
+    /// Resets slot clocks and statistics (new measurement epoch).
+    pub fn reset(&mut self) {
+        self.slots.fill(Cycles::ZERO);
+        self.stats = QstStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_fill_distinct_slots_without_waiting() {
+        let mut q = QueryStateTable::new(4);
+        for i in 0..4 {
+            let (start, slot) = q.claim(Cycles(10));
+            assert_eq!(start, Cycles(10));
+            q.complete(slot, start, Cycles(100));
+            assert_eq!(q.busy_at(Cycles(50)), i + 1);
+        }
+        assert_eq!(q.stats().wait_cycles, 0);
+    }
+
+    #[test]
+    fn fifth_claim_waits_for_backpressure() {
+        let mut q = QueryStateTable::new(4);
+        for _ in 0..4 {
+            let (s, slot) = q.claim(Cycles(0));
+            q.complete(slot, s, Cycles(100));
+        }
+        let (start, _) = q.claim(Cycles(10));
+        assert_eq!(start, Cycles(100), "must wait for a slot");
+        assert_eq!(q.stats().wait_cycles, 90);
+    }
+
+    #[test]
+    fn occupancy_math() {
+        let mut q = QueryStateTable::new(10);
+        for _ in 0..5 {
+            let (s, slot) = q.claim(Cycles(0));
+            q.complete(slot, s, Cycles(100));
+        }
+        // 5 slots busy for 100 cycles out of 10*100 slot-cycles = 0.5.
+        let occ = q.stats().occupancy(10, Cycles(100));
+        assert!((occ - 0.5).abs() < 1e-12, "occ {occ}");
+    }
+
+    #[test]
+    fn flush_aborts_busy_entries() {
+        let mut q = QueryStateTable::new(4);
+        for _ in 0..3 {
+            let (s, slot) = q.claim(Cycles(0));
+            q.complete(slot, s, Cycles(200));
+        }
+        let aborted = q.flush(Cycles(50));
+        assert_eq!(aborted, 3);
+        assert_eq!(q.busy_at(Cycles(60)), 0);
+        // A new claim starts immediately.
+        let (start, _) = q.claim(Cycles(60));
+        assert_eq!(start, Cycles(60));
+    }
+
+    #[test]
+    fn earliest_free_tracks_min() {
+        let mut q = QueryStateTable::new(2);
+        let (s, a) = q.claim(Cycles(0));
+        q.complete(a, s, Cycles(100));
+        let (s, b) = q.claim(Cycles(0));
+        q.complete(b, s, Cycles(50));
+        assert_eq!(q.earliest_free(Cycles(0)), Cycles(50));
+        assert_eq!(q.earliest_free(Cycles(70)), Cycles(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = QueryStateTable::new(0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Accelerator micro-operations and their outcomes.
+//!
+//! A CFA advances by emitting one micro-op per state transition; the DPU
+//! executes it (functionally against guest memory, and with a latency in the
+//! timing model) and hands the outcome back to the CFA.
+
+use crate::fault::FaultCode;
+use qei_mem::VirtAddr;
+use std::cmp::Ordering;
+
+/// A micro-operation issued by a CFA state transition (paper §IV-B: memory
+/// access, arithmetic/logic, comparison — plus the terminal transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Fetch `len` bytes starting at `addr` into the query's intermediate
+    /// data (cacheline-granular in hardware: `ceil(len/64)` line fetches).
+    Read {
+        /// Start of the fetched region.
+        addr: VirtAddr,
+        /// Bytes to fetch (1..=4096).
+        len: u32,
+    },
+    /// Compare `len` stored bytes at `addr` against the query key starting at
+    /// key offset `key_off`. Executed by a comparator — remotely in the CHA
+    /// of the line's home slice under CHA-compare schemes.
+    Compare {
+        /// Address of the stored key bytes.
+        addr: VirtAddr,
+        /// Bytes to compare.
+        len: u32,
+        /// Offset into the query key to compare from.
+        key_off: u32,
+    },
+    /// Hash the query key with the given seed on the hash unit.
+    Hash {
+        /// Seed selecting/parameterizing the hash function.
+        seed: u64,
+    },
+    /// `n` simple arithmetic/logic operations on intermediate data (index
+    /// math, signature checks, level bookkeeping).
+    Alu {
+        /// Number of 1-cycle ALU operations.
+        n: u32,
+    },
+    /// Query complete; `result` goes to the core or the result address.
+    Done {
+        /// The query result (0 = not found).
+        result: u64,
+    },
+    /// Query faulted; transition to the EXCEPTION state.
+    Fault {
+        /// The exception code.
+        code: FaultCode,
+    },
+}
+
+impl MicroOp {
+    /// Whether this op terminates the query.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, MicroOp::Done { .. } | MicroOp::Fault { .. })
+    }
+
+    /// Number of 64-byte lines a `Read` touches (0 for other ops).
+    pub fn lines_touched(&self) -> u32 {
+        match self {
+            MicroOp::Read { addr, len } => {
+                let start = addr.0 >> 6;
+                let end = (addr.0 + *len as u64 - 1) >> 6;
+                (end - start + 1) as u32
+            }
+            MicroOp::Compare { addr, len, .. } => {
+                let start = addr.0 >> 6;
+                let end = (addr.0 + *len as u64 - 1) >> 6;
+                (end - start + 1) as u32
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// The outcome of an executed micro-op, delivered to the CFA's next step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// First invocation — no micro-op has run yet.
+    Start,
+    /// A `Read` completed; the bytes are in [`crate::QueryCtx::line`].
+    Data,
+    /// A `Compare` completed: ordering of the *stored* bytes relative to the
+    /// query key slice.
+    Cmp(Ordering),
+    /// A `Hash` completed with this value.
+    Hashed(u64),
+    /// An `Alu` batch completed.
+    AluDone,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_classification() {
+        assert!(MicroOp::Done { result: 1 }.is_terminal());
+        assert!(MicroOp::Fault {
+            code: FaultCode::NullPointer
+        }
+        .is_terminal());
+        assert!(!MicroOp::Alu { n: 1 }.is_terminal());
+        assert!(!MicroOp::Hash { seed: 0 }.is_terminal());
+    }
+
+    #[test]
+    fn line_counting() {
+        // 8 bytes fully inside one line.
+        assert_eq!(
+            MicroOp::Read {
+                addr: VirtAddr(0x40),
+                len: 8
+            }
+            .lines_touched(),
+            1
+        );
+        // 64 bytes starting mid-line straddles two.
+        assert_eq!(
+            MicroOp::Read {
+                addr: VirtAddr(0x20),
+                len: 64
+            }
+            .lines_touched(),
+            2
+        );
+        // 1 KB key = 16 lines when aligned.
+        assert_eq!(
+            MicroOp::Read {
+                addr: VirtAddr(0x1000),
+                len: 1024
+            }
+            .lines_touched(),
+            16
+        );
+        assert_eq!(MicroOp::Alu { n: 3 }.lines_touched(), 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Micro-op trace intermediate representation.
+//!
+//! A trace is the dynamic micro-op stream of one region of interest, with
+//! explicit data dependences (`dep` indices into the same trace) so the core
+//! model can overlap independent work while serializing pointer chases.
+
+use qei_mem::VirtAddr;
+
+/// One dynamic micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uop {
+    /// A data load from `addr`; `dep` is the producer of the address
+    /// (pointer-chasing serializes through this edge).
+    Load {
+        /// Virtual address accessed.
+        addr: VirtAddr,
+        /// Index of the micro-op producing the address, if any.
+        dep: Option<u32>,
+    },
+    /// A data store to `addr`.
+    Store {
+        /// Virtual address written.
+        addr: VirtAddr,
+        /// Index of the micro-op producing the value/address, if any.
+        dep: Option<u32>,
+    },
+    /// An arithmetic/logic operation with the given execution latency.
+    Alu {
+        /// Execution latency in cycles (1 for simple ops).
+        latency: u32,
+        /// First input dependence.
+        dep: Option<u32>,
+        /// Second input dependence.
+        dep2: Option<u32>,
+    },
+    /// A conditional branch. `site` identifies the static branch (predictor
+    /// index); `taken` is the actual outcome.
+    Branch {
+        /// Static branch site identifier.
+        site: u32,
+        /// Dynamic outcome.
+        taken: bool,
+        /// Condition input dependence (typically a compare).
+        dep: Option<u32>,
+    },
+    /// An accelerator instruction (`QUERY_B`/`QUERY_NB`). `token` identifies
+    /// the pending query to the [`crate::Bus`]; blocking queries
+    /// behave like long-latency loads, non-blocking ones like stores.
+    External {
+        /// Engine-side token for the query descriptor.
+        token: u32,
+        /// Whether this is the blocking flavor.
+        blocking: bool,
+        /// Input dependence (e.g. the register holding the key pointer).
+        dep: Option<u32>,
+    },
+    /// A full serialization point (lock, fence, interrupt boundary).
+    Fence,
+}
+
+impl Uop {
+    /// Whether this micro-op occupies a load-queue entry.
+    pub fn uses_lq(&self) -> bool {
+        matches!(
+            self,
+            Uop::Load { .. } | Uop::External { blocking: true, .. }
+        )
+    }
+
+    /// Whether this micro-op occupies a store-queue entry.
+    pub fn uses_sq(&self) -> bool {
+        matches!(
+            self,
+            Uop::Store { .. } | Uop::External { blocking: false, .. }
+        )
+    }
+}
+
+/// A micro-op trace plus construction helpers.
+///
+/// # Example
+///
+/// ```
+/// use qei_cpu::Trace;
+/// use qei_mem::VirtAddr;
+///
+/// let mut t = Trace::new();
+/// let a = t.load(VirtAddr(0x1000), None);      // load pointer
+/// let b = t.load(VirtAddr(0x2000), Some(a));   // chase it
+/// let c = t.alu1(Some(b));                      // compare
+/// t.branch(0, true, Some(c));
+/// assert_eq!(t.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    uops: Vec<Uop>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The micro-ops in program order.
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// Number of micro-ops.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Index the next pushed micro-op will get.
+    pub fn next_index(&self) -> u32 {
+        self.uops.len() as u32
+    }
+
+    /// Pushes a raw micro-op, returning its index.
+    pub fn push(&mut self, uop: Uop) -> u32 {
+        let idx = self.uops.len() as u32;
+        self.uops.push(uop);
+        idx
+    }
+
+    /// Pushes a load.
+    pub fn load(&mut self, addr: VirtAddr, dep: Option<u32>) -> u32 {
+        self.push(Uop::Load { addr, dep })
+    }
+
+    /// Pushes a store.
+    pub fn store(&mut self, addr: VirtAddr, dep: Option<u32>) -> u32 {
+        self.push(Uop::Store { addr, dep })
+    }
+
+    /// Pushes a 1-cycle ALU op with one dependence.
+    pub fn alu1(&mut self, dep: Option<u32>) -> u32 {
+        self.push(Uop::Alu {
+            latency: 1,
+            dep,
+            dep2: None,
+        })
+    }
+
+    /// Pushes an ALU op with explicit latency and up to two dependences.
+    pub fn alu(&mut self, latency: u32, dep: Option<u32>, dep2: Option<u32>) -> u32 {
+        self.push(Uop::Alu { latency, dep, dep2 })
+    }
+
+    /// Pushes `n` independent 1-cycle ALU ops (bulk "other work"); returns the
+    /// index of the last one.
+    pub fn alu_block(&mut self, n: u32) -> u32 {
+        let mut last = self.next_index();
+        for _ in 0..n {
+            last = self.alu1(None);
+        }
+        last
+    }
+
+    /// Pushes a conditional branch.
+    pub fn branch(&mut self, site: u32, taken: bool, dep: Option<u32>) -> u32 {
+        self.push(Uop::Branch { site, taken, dep })
+    }
+
+    /// Pushes a blocking accelerator query.
+    pub fn query_b(&mut self, token: u32, dep: Option<u32>) -> u32 {
+        self.push(Uop::External {
+            token,
+            blocking: true,
+            dep,
+        })
+    }
+
+    /// Pushes a non-blocking accelerator query.
+    pub fn query_nb(&mut self, token: u32, dep: Option<u32>) -> u32 {
+        self.push(Uop::External {
+            token,
+            blocking: false,
+            dep,
+        })
+    }
+
+    /// Pushes a serialization fence.
+    pub fn fence(&mut self) -> u32 {
+        self.push(Uop::Fence)
+    }
+
+    /// Appends another trace, fixing up its dependence indices.
+    pub fn append(&mut self, other: &Trace) {
+        let base = self.uops.len() as u32;
+        let fix = |d: Option<u32>| d.map(|i| i + base);
+        for u in &other.uops {
+            let shifted = match *u {
+                Uop::Load { addr, dep } => Uop::Load {
+                    addr,
+                    dep: fix(dep),
+                },
+                Uop::Store { addr, dep } => Uop::Store {
+                    addr,
+                    dep: fix(dep),
+                },
+                Uop::Alu { latency, dep, dep2 } => Uop::Alu {
+                    latency,
+                    dep: fix(dep),
+                    dep2: fix(dep2),
+                },
+                Uop::Branch { site, taken, dep } => Uop::Branch {
+                    site,
+                    taken,
+                    dep: fix(dep),
+                },
+                Uop::External {
+                    token,
+                    blocking,
+                    dep,
+                } => Uop::External {
+                    token,
+                    blocking,
+                    dep: fix(dep),
+                },
+                Uop::Fence => Uop::Fence,
+            };
+            self.uops.push(shifted);
+        }
+    }
+
+    /// Summary counts (the paper's Fig. 11 input).
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats::default();
+        for u in &self.uops {
+            s.total += 1;
+            match u {
+                Uop::Load { .. } => s.loads += 1,
+                Uop::Store { .. } => s.stores += 1,
+                Uop::Alu { .. } => s.alus += 1,
+                Uop::Branch { .. } => s.branches += 1,
+                Uop::External { .. } => s.externals += 1,
+                Uop::Fence => s.fences += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Dynamic micro-op counts by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// All micro-ops.
+    pub total: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// ALU operations.
+    pub alus: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Accelerator instructions.
+    pub externals: u64,
+    /// Fences.
+    pub fences: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_indices_are_sequential() {
+        let mut t = Trace::new();
+        assert_eq!(t.load(VirtAddr(1), None), 0);
+        assert_eq!(t.alu1(Some(0)), 1);
+        assert_eq!(t.store(VirtAddr(2), Some(1)), 2);
+        assert_eq!(t.branch(9, false, Some(1)), 3);
+        assert_eq!(t.next_index(), 4);
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let mut t = Trace::new();
+        t.load(VirtAddr(1), None);
+        t.store(VirtAddr(2), None);
+        t.alu_block(3);
+        t.branch(0, true, None);
+        t.query_b(7, None);
+        t.query_nb(8, None);
+        t.fence();
+        let s = t.stats();
+        assert_eq!(s.total, 9);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.alus, 3);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.externals, 2);
+        assert_eq!(s.fences, 1);
+    }
+
+    #[test]
+    fn append_rebases_deps() {
+        let mut a = Trace::new();
+        a.load(VirtAddr(1), None);
+
+        let mut b = Trace::new();
+        let l = b.load(VirtAddr(2), None);
+        b.alu1(Some(l));
+
+        a.append(&b);
+        match a.uops()[2] {
+            Uop::Alu { dep, .. } => assert_eq!(dep, Some(1)),
+            _ => panic!("expected alu"),
+        }
+    }
+
+    #[test]
+    fn queue_usage_classification() {
+        assert!(Uop::Load {
+            addr: VirtAddr(0),
+            dep: None
+        }
+        .uses_lq());
+        assert!(Uop::External {
+            token: 0,
+            blocking: true,
+            dep: None
+        }
+        .uses_lq());
+        assert!(Uop::External {
+            token: 0,
+            blocking: false,
+            dep: None
+        }
+        .uses_sq());
+        assert!(!Uop::Fence.uses_lq());
+    }
+}

@@ -1,0 +1,174 @@
+//! Shared emission helpers for software-baseline traces.
+//!
+//! The paper's Section II observation — "each query operation can easily
+//! generate hundreds of dynamic instructions" — is the single most important
+//! calibration target for the baseline. These helpers emit the instruction
+//! shapes real query routines execute: call overhead, register staging of the
+//! query key, chunked `memcmp` loops with data-dependent branches, and
+//! software hash computation.
+
+use qei_cpu::Trace;
+use qei_mem::{GuestMem, VirtAddr};
+
+/// Branch-site identifiers: disjoint ranges per routine so the gshare
+/// predictor sees realistic per-site behaviour.
+pub mod sites {
+    /// memcmp chunk-loop branch.
+    pub const MEMCMP_LOOP: u32 = 0x100;
+    /// memcmp final equal/unequal branch.
+    pub const MEMCMP_RESULT: u32 = 0x101;
+    /// Generic structure-walk loop branch.
+    pub const WALK_LOOP: u32 = 0x110;
+    /// Match-found branch.
+    pub const MATCH: u32 = 0x111;
+    /// Hash-table bucket-scan branch.
+    pub const BUCKET_SCAN: u32 = 0x120;
+    /// Skip-list level-descent branch.
+    pub const LEVEL: u32 = 0x130;
+    /// Trie child binary-search branch.
+    pub const TRIE_SEARCH: u32 = 0x140;
+    /// Trie fail-link branch.
+    pub const TRIE_FAIL: u32 = 0x141;
+}
+
+/// Function-call overhead: prologue, argument marshalling, epilogue.
+/// Returns the index of the last emitted micro-op.
+pub fn emit_call_overhead(trace: &mut Trace) -> u32 {
+    // Push/pop of callee-saved registers and frame setup: a store, a load,
+    // and a handful of ALU ops — what `-O3` leaves of a small function call.
+    trace.alu_block(6)
+}
+
+/// Stages the query key from memory into registers: one load per 8 bytes.
+/// Returns the index of the last key load (a dependence anchor for compares).
+pub fn emit_key_stage(trace: &mut Trace, key_addr: VirtAddr, key_len: usize) -> u32 {
+    let chunks = key_len.div_ceil(8).max(1);
+    let mut last = trace.next_index();
+    for c in 0..chunks {
+        last = trace.load(key_addr + (c as u64) * 8, None);
+    }
+    last
+}
+
+/// A chunked `memcmp(stored, key, len)` loop.
+///
+/// Emits, per compared 8-byte chunk: a load of the stored chunk (dependent on
+/// `stored_dep`, the producer of the stored pointer), a compare ALU op, and
+/// the loop branch with its *actual* outcome (continue while equal). The
+/// number of executed iterations is `common_prefix/8 + 1`, exactly as real
+/// memcmp executes. Returns the index of the final result-producing op.
+pub fn emit_memcmp(
+    trace: &mut Trace,
+    stored_addr: VirtAddr,
+    stored_dep: Option<u32>,
+    stored: &[u8],
+    query: &[u8],
+    len: usize,
+) -> u32 {
+    let chunks = len.div_ceil(8).max(1);
+    // How many chunks execute: up to and including the first differing chunk.
+    let mut executed = chunks;
+    for c in 0..chunks {
+        let lo = c * 8;
+        let hi = ((c + 1) * 8).min(len);
+        let a = stored.get(lo..hi).unwrap_or(&[]);
+        let b = query.get(lo..hi).unwrap_or(&[]);
+        if a != b {
+            executed = c + 1;
+            break;
+        }
+    }
+    let mut last = trace.next_index();
+    for c in 0..executed {
+        let chunk_load = trace.load(stored_addr + (c as u64) * 8, stored_dep);
+        let cmp = trace.alu(1, Some(chunk_load), None);
+        // Loop continues (taken) while chunks matched and more remain.
+        let taken = c + 1 < executed;
+        trace.branch(sites::MEMCMP_LOOP, taken, Some(cmp));
+        last = cmp;
+    }
+    last
+}
+
+/// Software hash over `key_len` bytes (the DPDK-style hash the baseline
+/// computes on the core): ~4 ALU ops per 8-byte chunk plus setup, dependent
+/// on the staged key. Returns the index of the hash-value-producing op.
+pub fn emit_hash(trace: &mut Trace, key_dep: Option<u32>, key_len: usize) -> u32 {
+    let chunks = key_len.div_ceil(8).max(1);
+    let mut last = trace.alu(1, key_dep, None);
+    for _ in 0..chunks {
+        // xor, mul, rotate, fold.
+        last = trace.alu(1, Some(last), None);
+        last = trace.alu(2, Some(last), None);
+        last = trace.alu(1, Some(last), None);
+    }
+    last
+}
+
+/// Reads a u64 out of guest memory for trace-time decisions, panicking on
+/// fault: baseline routines only walk structurally valid data.
+pub fn guest_u64(mem: &GuestMem, addr: VirtAddr) -> u64 {
+    mem.read_u64(addr).expect("baseline walked invalid pointer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qei_mem::GuestMem;
+
+    #[test]
+    fn call_overhead_is_constant_and_small() {
+        let mut t = Trace::new();
+        emit_call_overhead(&mut t);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn key_stage_scales_with_length() {
+        let mut t = Trace::new();
+        emit_key_stage(&mut t, VirtAddr(0x1000), 16);
+        assert_eq!(t.stats().loads, 2);
+        let mut t2 = Trace::new();
+        emit_key_stage(&mut t2, VirtAddr(0x1000), 100);
+        assert_eq!(t2.stats().loads, 13);
+    }
+
+    #[test]
+    fn memcmp_stops_at_first_difference() {
+        let mut t = Trace::new();
+        let stored = b"aaaaaaaaXXXXXXXX"; // differs in the 2nd chunk
+        let query = b"aaaaaaaaYYYYYYYY";
+        emit_memcmp(&mut t, VirtAddr(0x2000), None, stored, query, 16);
+        // 2 chunks executed: 2 loads, 2 alus, 2 branches.
+        let s = t.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.branches, 2);
+
+        let mut t2 = Trace::new();
+        emit_memcmp(&mut t2, VirtAddr(0x2000), None, stored, stored, 16);
+        assert_eq!(t2.stats().loads, 2, "equal keys compare all chunks");
+
+        let mut t3 = Trace::new();
+        let other = b"bbbbbbbbYYYYYYYY"; // first chunk differs
+        emit_memcmp(&mut t3, VirtAddr(0x2000), None, stored, other, 16);
+        assert_eq!(t3.stats().loads, 1, "early exit after first chunk");
+    }
+
+    #[test]
+    fn hash_cost_scales_with_key() {
+        let mut t16 = Trace::new();
+        emit_hash(&mut t16, None, 16);
+        let mut t100 = Trace::new();
+        emit_hash(&mut t100, None, 100);
+        assert!(t100.len() > t16.len());
+        assert_eq!(t16.stats().alus, 1 + 2 * 3);
+    }
+
+    #[test]
+    fn guest_u64_reads() {
+        let mut mem = GuestMem::new(40);
+        let p = mem.alloc(8, 8).unwrap();
+        mem.write_u64(p, 777).unwrap();
+        assert_eq!(guest_u64(&mem, p), 777);
+    }
+}

@@ -1,0 +1,315 @@
+//! Guest-memory B+-tree — an in-memory database index queried through the
+//! *loadable* B+-tree firmware (`qei_core::firmware::btree`, not part of the
+//! built-in CFA set).
+//!
+//! Built bottom-up from sorted `(key, value)` pairs into the 128-byte node
+//! layout the CFA expects: sorted big-endian keys, child pointers or values,
+//! leaf chaining. Keys are `u64`s (index keys); values are non-zero `u64`s.
+
+use crate::baseline::{self, sites};
+use crate::QueryDs;
+use qei_core::firmware::btree::{
+    BTREE_TYPE, FANOUT, NODE_BYTES, NODE_COUNT_OFF, NODE_IS_LEAF_OFF, NODE_KEYS_OFF,
+    NODE_PTRS_OFF,
+};
+use qei_core::header::{DsType, Header, HEADER_BYTES};
+use qei_cpu::Trace;
+use qei_mem::{GuestMem, MemError, VirtAddr};
+
+/// A B+-tree index living in guest memory.
+#[derive(Debug)]
+pub struct BPlusTree {
+    header_addr: VirtAddr,
+    header: Header,
+    len: usize,
+    height: usize,
+}
+
+impl BPlusTree {
+    /// Bulk-builds the index from strictly ascending `(key, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest allocation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, unsorted, contains duplicates, or any
+    /// value is zero.
+    pub fn build(mem: &mut GuestMem, items: &[(u64, u64)]) -> Result<Self, MemError> {
+        assert!(!items.is_empty(), "empty index");
+        for w in items.windows(2) {
+            assert!(w[0].0 < w[1].0, "items must be strictly ascending");
+        }
+        assert!(items.iter().all(|&(_, v)| v != 0), "zero value sentinel");
+
+        let per_leaf = FANOUT - 1;
+        // --- leaves ---------------------------------------------------
+        let mut level: Vec<(u64, u64)> = Vec::new(); // (first key, node addr)
+        let mut prev_leaf: Option<VirtAddr> = None;
+        for chunk in items.chunks(per_leaf) {
+            let node = mem.alloc(NODE_BYTES, 64)?;
+            mem.write_u16(node + NODE_IS_LEAF_OFF, 1)?;
+            mem.write_u16(node + NODE_COUNT_OFF, chunk.len() as u16)?;
+            for (i, &(k, v)) in chunk.iter().enumerate() {
+                mem.write(node + NODE_KEYS_OFF + (i as u64) * 8, &k.to_be_bytes())?;
+                mem.write_u64(node + NODE_PTRS_OFF + (i as u64) * 8, v)?;
+            }
+            if let Some(prev) = prev_leaf {
+                // Leaf chaining in the last pointer slot.
+                mem.write_u64(prev + NODE_PTRS_OFF + (per_leaf as u64) * 8, node.0)?;
+            }
+            prev_leaf = Some(node);
+            level.push((chunk[0].0, node.0));
+        }
+        let mut height = 1;
+
+        // --- internal levels -----------------------------------------
+        while level.len() > 1 {
+            let mut next: Vec<(u64, u64)> = Vec::new();
+            for group in level.chunks(FANOUT) {
+                let node = mem.alloc(NODE_BYTES, 64)?;
+                mem.write_u16(node + NODE_IS_LEAF_OFF, 0)?;
+                mem.write_u16(node + NODE_COUNT_OFF, (group.len() - 1) as u16)?;
+                // Separator keys = first keys of children 1..; child ptrs.
+                for (i, &(first_key, child)) in group.iter().enumerate() {
+                    if i > 0 {
+                        mem.write(
+                            node + NODE_KEYS_OFF + ((i - 1) as u64) * 8,
+                            &first_key.to_be_bytes(),
+                        )?;
+                    }
+                    mem.write_u64(node + NODE_PTRS_OFF + (i as u64) * 8, child)?;
+                }
+                next.push((group[0].0, node.0));
+            }
+            level = next;
+            height += 1;
+        }
+
+        let header = Header {
+            ds_ptr: VirtAddr(level[0].1),
+            dtype: DsType::Custom(BTREE_TYPE),
+            subtype: 0,
+            key_len: 8,
+            flags: 0,
+            capacity: items.len() as u64,
+            aux0: FANOUT as u64,
+            aux1: 0,
+            aux2: 0,
+        };
+        let header_addr = mem.alloc(HEADER_BYTES, 64)?;
+        header.write_to(mem, header_addr)?;
+        Ok(BPlusTree {
+            header_addr,
+            header,
+            len: items.len(),
+            height,
+        })
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty (never: `build` rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (levels).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn node_u16(&self, mem: &GuestMem, node: u64, off: u64) -> u16 {
+        mem.read_u16(VirtAddr(node + off)).expect("node readable")
+    }
+
+    fn node_key(&self, mem: &GuestMem, node: u64, i: usize) -> u64 {
+        let b = mem
+            .read_vec(VirtAddr(node + NODE_KEYS_OFF + (i as u64) * 8), 8)
+            .expect("node readable");
+        u64::from_be_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    fn node_ptr(&self, mem: &GuestMem, node: u64, i: usize) -> u64 {
+        baseline::guest_u64(mem, VirtAddr(node + NODE_PTRS_OFF + (i as u64) * 8))
+    }
+}
+
+impl QueryDs for BPlusTree {
+    fn header_addr(&self) -> VirtAddr {
+        self.header_addr
+    }
+
+    fn query_software(&self, mem: &GuestMem, key: &[u8]) -> u64 {
+        let query = u64::from_be_bytes(key.try_into().expect("8-byte key"));
+        let mut node = self.header.ds_ptr.0;
+        loop {
+            let is_leaf = self.node_u16(mem, node, NODE_IS_LEAF_OFF) != 0;
+            let count = self.node_u16(mem, node, NODE_COUNT_OFF) as usize;
+            if is_leaf {
+                for i in 0..count {
+                    if self.node_key(mem, node, i) == query {
+                        return self.node_ptr(mem, node, i);
+                    }
+                }
+                return 0;
+            }
+            let mut idx = 0;
+            while idx < count && self.node_key(mem, node, idx) <= query {
+                idx += 1;
+            }
+            node = self.node_ptr(mem, node, idx);
+            if node == 0 {
+                return 0;
+            }
+        }
+    }
+
+    fn query_traced(&self, mem: &GuestMem, key_addr: VirtAddr, trace: &mut Trace) -> u64 {
+        let key = mem.read_vec(key_addr, 8).expect("key readable");
+        let query = u64::from_be_bytes(key.clone().try_into().expect("8 bytes"));
+        baseline::emit_call_overhead(trace);
+        let key_dep = baseline::emit_key_stage(trace, key_addr, 8);
+        let mut cur_dep = trace.load(self.header_addr, Some(key_dep));
+
+        let mut node = self.header.ds_ptr.0;
+        loop {
+            // Two lines per node.
+            let n1 = trace.load(VirtAddr(node), Some(cur_dep));
+            trace.load(VirtAddr(node + 64), Some(n1));
+            let is_leaf = self.node_u16(mem, node, NODE_IS_LEAF_OFF) != 0;
+            let count = self.node_u16(mem, node, NODE_COUNT_OFF) as usize;
+            // Binary search: compare + branch per probed key.
+            let mut idx = 0;
+            for i in 0..count {
+                let k = self.node_key(mem, node, i);
+                let cmp = trace.alu(1, Some(n1), None);
+                let go_on = k <= query;
+                trace.branch(sites::WALK_LOOP, go_on, Some(cmp));
+                if is_leaf {
+                    if k == query {
+                        let v = trace.load(
+                            VirtAddr(node + NODE_PTRS_OFF + (i as u64) * 8),
+                            Some(n1),
+                        );
+                        trace.alu1(Some(v));
+                        return self.node_ptr(mem, node, i);
+                    }
+                    if k > query {
+                        return 0;
+                    }
+                } else if go_on {
+                    idx = i + 1;
+                } else {
+                    break;
+                }
+            }
+            if is_leaf {
+                return 0;
+            }
+            node = self.node_ptr(mem, node, idx);
+            let adv = trace.alu1(Some(n1));
+            if node == 0 {
+                return 0;
+            }
+            cur_dep = adv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage_key;
+    use qei_core::firmware::btree::BPlusTreeCfa;
+    use qei_core::{run_query, FaultCode, FirmwareStore};
+    use std::sync::Arc;
+
+    fn items(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i * 5 + 3, i + 1)).collect()
+    }
+
+    fn firmware() -> FirmwareStore {
+        let mut fw = FirmwareStore::with_builtins();
+        fw.register(BTREE_TYPE, 0, Arc::new(BPlusTreeCfa));
+        fw
+    }
+
+    #[test]
+    fn software_hits_and_misses() {
+        let mut mem = GuestMem::new(120);
+        let t = BPlusTree::build(&mut mem, &items(500)).unwrap();
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 3);
+        for i in [0u64, 250, 499] {
+            let k = (i * 5 + 3).to_be_bytes();
+            assert_eq!(t.query_software(&mem, &k), i + 1, "item {i}");
+        }
+        assert_eq!(t.query_software(&mem, &4u64.to_be_bytes()), 0);
+        assert_eq!(t.query_software(&mem, &100_000u64.to_be_bytes()), 0);
+    }
+
+    #[test]
+    fn loadable_firmware_agrees_with_software() {
+        let mut mem = GuestMem::new(121);
+        let t = BPlusTree::build(&mut mem, &items(300)).unwrap();
+        let fw = firmware();
+        for probe in [3u64, 8, 1498, 4, 7, 9_999] {
+            let ka = stage_key(&mut mem, &probe.to_be_bytes());
+            assert_eq!(
+                run_query(&fw, &mem, t.header_addr(), ka).unwrap(),
+                t.query_software(&mem, &probe.to_be_bytes()),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_without_loaded_firmware_faults() {
+        let mut mem = GuestMem::new(122);
+        let t = BPlusTree::build(&mut mem, &items(50)).unwrap();
+        let fw = FirmwareStore::with_builtins(); // B+-tree NOT loaded
+        let ka = stage_key(&mut mem, &3u64.to_be_bytes());
+        assert_eq!(
+            run_query(&fw, &mem, t.header_addr(), ka),
+            Err(FaultCode::UnknownType)
+        );
+    }
+
+    #[test]
+    fn traced_matches_and_is_shallow() {
+        let mut mem = GuestMem::new(123);
+        let t = BPlusTree::build(&mut mem, &items(1_000)).unwrap();
+        let ka = stage_key(&mut mem, &(700u64 * 5 + 3).to_be_bytes());
+        let mut tr = Trace::new();
+        let r = t.query_traced(&mem, ka, &mut tr);
+        assert_eq!(r, 701);
+        // Height ~ log8(1000/7) + 1: far fewer loads than a BST.
+        assert!(
+            tr.stats().loads < 40,
+            "B+-tree walk too deep: {} loads",
+            tr.stats().loads
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut mem = GuestMem::new(124);
+        let t = BPlusTree::build(&mut mem, &items(3)).unwrap();
+        assert_eq!(t.height(), 1);
+        let fw = firmware();
+        let ka = stage_key(&mut mem, &8u64.to_be_bytes());
+        assert_eq!(run_query(&fw, &mem, t.header_addr(), ka).unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_input_rejected() {
+        let mut mem = GuestMem::new(125);
+        let _ = BPlusTree::build(&mut mem, &[(5, 1), (3, 2)]);
+    }
+}

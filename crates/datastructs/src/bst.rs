@@ -1,0 +1,241 @@
+//! Guest-memory binary search tree — the JVM garbage collector's live
+//! object tree in the paper's benchmark suite.
+//!
+//! Node layout matches `qei_core::firmware::bst`: `{key: u64 big-endian,
+//! value: u64, left: u64, right: u64}` (32 bytes). Keys are stored
+//! big-endian so the byte comparator's memcmp order equals numeric order.
+//! Inserting keys in random order yields the ~2·ln(n) expected depth that
+//! drives the paper's "39.9 memory accesses per query" observation for the
+//! JVM workload.
+
+use crate::baseline::{self, sites};
+use crate::QueryDs;
+use qei_core::firmware::bst::{
+    NODE_BYTES, NODE_KEY_OFF, NODE_LEFT_OFF, NODE_RIGHT_OFF, NODE_VALUE_OFF,
+};
+use qei_core::header::{DsType, Header, HEADER_BYTES};
+use qei_cpu::Trace;
+use qei_mem::{GuestMem, MemError, VirtAddr};
+
+/// A binary search tree living in guest memory.
+#[derive(Debug)]
+pub struct Bst {
+    header_addr: VirtAddr,
+    header: Header,
+    len: usize,
+}
+
+impl Bst {
+    /// Builds an empty tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest allocation failures.
+    pub fn new(mem: &mut GuestMem) -> Result<Self, MemError> {
+        let header = Header {
+            ds_ptr: VirtAddr::NULL,
+            dtype: DsType::Bst,
+            subtype: 0,
+            key_len: 8,
+            flags: 0,
+            capacity: 0,
+            aux0: 0,
+            aux1: 0,
+            aux2: 0,
+        };
+        let header_addr = mem.alloc(HEADER_BYTES, 64)?;
+        header.write_to(mem, header_addr)?;
+        Ok(Bst {
+            header_addr,
+            header,
+            len: 0,
+        })
+    }
+
+    /// Inserts an object id → value mapping (plain unbalanced insert).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest allocation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero value or duplicate key.
+    pub fn insert(&mut self, mem: &mut GuestMem, key: u64, value: u64) -> Result<(), MemError> {
+        assert_ne!(value, 0, "zero is the not-found sentinel");
+        let node = mem.alloc(NODE_BYTES, 8)?;
+        mem.write(node + NODE_KEY_OFF, &key.to_be_bytes())?;
+        mem.write_u64(node + NODE_VALUE_OFF, value)?;
+        if self.header.ds_ptr.is_null() {
+            self.header.ds_ptr = node;
+            self.header.write_to(mem, self.header_addr)?;
+        } else {
+            let mut cur = self.header.ds_ptr.0;
+            loop {
+                let ck_bytes = mem.read_vec(VirtAddr(cur + NODE_KEY_OFF), 8)?;
+                let ck = u64::from_be_bytes(ck_bytes.try_into().expect("8 bytes"));
+                assert_ne!(ck, key, "duplicate key");
+                let branch = if key < ck { NODE_LEFT_OFF } else { NODE_RIGHT_OFF };
+                let child = mem.read_u64(VirtAddr(cur + branch))?;
+                if child == 0 {
+                    mem.write_u64(VirtAddr(cur + branch), node.0)?;
+                    break;
+                }
+                cur = child;
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Functional query by numeric key.
+    pub fn query_u64(&self, mem: &GuestMem, key: u64) -> u64 {
+        self.query_software(mem, &key.to_be_bytes())
+    }
+}
+
+impl QueryDs for Bst {
+    fn header_addr(&self) -> VirtAddr {
+        self.header_addr
+    }
+
+    fn query_software(&self, mem: &GuestMem, key: &[u8]) -> u64 {
+        let key = u64::from_be_bytes(key.try_into().expect("BST keys are 8 bytes"));
+        let mut cur = self.header.ds_ptr.0;
+        while cur != 0 {
+            let ck_bytes = mem
+                .read_vec(VirtAddr(cur + NODE_KEY_OFF), 8)
+                .expect("node readable");
+            let ck = u64::from_be_bytes(ck_bytes.try_into().expect("8 bytes"));
+            if ck == key {
+                return baseline::guest_u64(mem, VirtAddr(cur + NODE_VALUE_OFF));
+            }
+            let branch = if key < ck { NODE_LEFT_OFF } else { NODE_RIGHT_OFF };
+            cur = baseline::guest_u64(mem, VirtAddr(cur + branch));
+        }
+        0
+    }
+
+    fn query_traced(&self, mem: &GuestMem, key_addr: VirtAddr, trace: &mut Trace) -> u64 {
+        let key_bytes = mem.read_vec(key_addr, 8).expect("query key readable");
+        let key = u64::from_be_bytes(key_bytes.clone().try_into().expect("8 bytes"));
+
+        baseline::emit_call_overhead(trace);
+        baseline::emit_key_stage(trace, key_addr, 8);
+        let root_load = trace.load(self.header_addr, None);
+
+        let mut cur = self.header.ds_ptr.0;
+        let mut cur_dep = root_load;
+        while cur != 0 {
+            // One node line holds key/value/children.
+            let node_load = trace.load(VirtAddr(cur), Some(cur_dep));
+            let ck_bytes = mem
+                .read_vec(VirtAddr(cur + NODE_KEY_OFF), 8)
+                .expect("node readable");
+            let ck = u64::from_be_bytes(ck_bytes.try_into().expect("8 bytes"));
+            let cmp = trace.alu(1, Some(node_load), None);
+            let matched = ck == key;
+            trace.branch(sites::MATCH, matched, Some(cmp));
+            if matched {
+                let v = trace.load(VirtAddr(cur + NODE_VALUE_OFF), Some(node_load));
+                trace.alu1(Some(v));
+                return baseline::guest_u64(mem, VirtAddr(cur + NODE_VALUE_OFF));
+            }
+            // Direction branch: data-dependent, essentially random for
+            // random queries — the frontend pressure the paper profiles.
+            let go_left = key < ck;
+            trace.branch(sites::WALK_LOOP, go_left, Some(cmp));
+            let branch = if go_left { NODE_LEFT_OFF } else { NODE_RIGHT_OFF };
+            cur = baseline::guest_u64(mem, VirtAddr(cur + branch));
+            let advance = trace.alu1(Some(node_load));
+            let _ = advance;
+            cur_dep = node_load;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage_key;
+    use qei_core::{run_query, FirmwareStore};
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, SeedableRng};
+
+    fn sample(mem: &mut GuestMem, n: u64) -> Bst {
+        let mut t = Bst::new(mem).unwrap();
+        let mut keys: Vec<u64> = (1..=n).map(|i| i * 37).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(17));
+        for k in keys {
+            t.insert(mem, k, k + 1_000_000).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn software_hits_and_misses() {
+        let mut mem = GuestMem::new(90);
+        let t = sample(&mut mem, 500);
+        assert_eq!(t.len(), 500);
+        for k in [37u64, 37 * 250, 37 * 500] {
+            assert_eq!(t.query_u64(&mem, k), k + 1_000_000);
+        }
+        assert_eq!(t.query_u64(&mem, 38), 0);
+        assert_eq!(t.query_u64(&mem, 0), 0);
+    }
+
+    #[test]
+    fn firmware_agrees_with_software() {
+        let mut mem = GuestMem::new(91);
+        let t = sample(&mut mem, 300);
+        let fw = FirmwareStore::with_builtins();
+        for k in [37u64, 740, 37 * 299, 5, 99999] {
+            let ka = stage_key(&mut mem, &k.to_be_bytes());
+            assert_eq!(
+                run_query(&fw, &mem, t.header_addr(), ka).unwrap(),
+                t.query_u64(&mem, k),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_matches_and_depth_scales() {
+        let mut mem = GuestMem::new(92);
+        let t = sample(&mut mem, 1000);
+        let ka = stage_key(&mut mem, &(37u64 * 700).to_be_bytes());
+        let mut tr = Trace::new();
+        let r = t.query_traced(&mem, ka, &mut tr);
+        assert_eq!(r, 37 * 700 + 1_000_000);
+        // Depth ~ 2 ln(1000) ≈ 14 nodes → ~6 uops per node + overhead.
+        assert!(tr.len() > 30, "trace len {}", tr.len());
+    }
+
+    #[test]
+    fn empty_tree_misses() {
+        let mut mem = GuestMem::new(93);
+        let t = Bst::new(&mut mem).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.query_u64(&mem, 42), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_panics() {
+        let mut mem = GuestMem::new(94);
+        let mut t = Bst::new(&mut mem).unwrap();
+        t.insert(&mut mem, 5, 1).unwrap();
+        let _ = t.insert(&mut mem, 5, 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Guest-memory data structures and their software query baselines.
+//!
+//! Each structure in this crate plays three roles:
+//!
+//! 1. **Builder** — lays the structure out in [`qei_mem::GuestMem`] using the
+//!    exact node layouts the QEI firmware CFAs expect (`qei-core`'s
+//!    `firmware` modules define the offsets), including the 64-byte header;
+//! 2. **Software baseline** — `query_traced` runs the query the way the
+//!    paper's unmodified software does, emitting the dynamic micro-op stream
+//!    (loads with real addresses and dependence edges, memcmp loops,
+//!    data-dependent branches) that `qei-cpu` prices;
+//! 3. **Ground truth** — `query_software` computes the functional answer the
+//!    accelerator must reproduce; the repo's central property test checks
+//!    `qei_core::run_query == query_software` across structures and schemes.
+//!
+//! The structures mirror the paper's workload substrates: a DPDK-style cuckoo
+//! hash table, a chained hash table (a hash of linked lists — the "combined"
+//! structure), a singly linked list, a RocksDB-memtable-style skip list, an
+//! object tree (BST), and an Aho–Corasick trie for Snort-style literal
+//! matching.
+
+pub mod ac_trie;
+pub mod baseline;
+pub mod bplus_tree;
+pub mod bst;
+pub mod chained_hash;
+pub mod cuckoo_hash;
+pub mod linked_list;
+pub mod lpm_trie;
+pub mod skip_list;
+
+pub use ac_trie::AcTrie;
+pub use bplus_tree::BPlusTree;
+pub use bst::Bst;
+pub use chained_hash::ChainedHash;
+pub use cuckoo_hash::CuckooHash;
+pub use linked_list::LinkedList;
+pub use lpm_trie::LpmTrie;
+pub use skip_list::SkipList;
+
+use qei_cpu::Trace;
+use qei_mem::{GuestMem, VirtAddr};
+
+/// A guest data structure queryable both by software and by QEI.
+pub trait QueryDs {
+    /// Address of the structure's 64-byte header.
+    fn header_addr(&self) -> VirtAddr;
+
+    /// Functional software query: the ground truth (0 = not found).
+    fn query_software(&self, mem: &GuestMem, key: &[u8]) -> u64;
+
+    /// Software query that also emits the baseline micro-op trace. The key is
+    /// read from guest memory at `key_addr` (as the real routine would).
+    fn query_traced(&self, mem: &GuestMem, key_addr: VirtAddr, trace: &mut Trace) -> u64;
+}
+
+/// Writes `key` into fresh guest memory and returns its address — the way
+/// benchmarks stage query keys before issuing lookups.
+///
+/// # Panics
+///
+/// Panics if the guest heap is exhausted.
+pub fn stage_key(mem: &mut GuestMem, key: &[u8]) -> VirtAddr {
+    let a = mem
+        .alloc(key.len().max(1) as u64, 8)
+        .expect("guest heap exhausted");
+    mem.write(a, key).expect("fresh allocation must be mapped");
+    a
+}

@@ -1,0 +1,207 @@
+//! Ablation studies on the design choices the paper motivates but does not
+//! sweep in figures:
+//!
+//! * **QST depth** — the paper picks 10 entries for "a decent balance
+//!   between performance and cost (i.e., 50% ∼ 90% occupancy)";
+//! * **Comparators per CHA** — Table II configures two;
+//! * **Dedicated-TLB size** — CHA-TLB uses 1024 entries ("same as the
+//!   L2-TLB size" in spirit), which Table III shows dominating its area;
+//! * **Near-data vs local comparison** — the Core-integrated scheme's
+//!   signature feature is pushing comparisons into the CHAs.
+
+use crate::render;
+use qei_config::{MachineConfig, Scheme};
+use qei_sim::System;
+use qei_workloads::jvm::JvmGc;
+use qei_workloads::rocksdb::RocksDbMem;
+use qei_workloads::Workload;
+
+/// Swept QST depths.
+pub const QST_SIZES: [u32; 5] = [2, 5, 10, 20, 40];
+/// Swept comparator counts per CHA.
+pub const COMPARATOR_COUNTS: [u32; 3] = [1, 2, 4];
+/// Swept dedicated-TLB sizes for the CHA-TLB scheme.
+pub const TLB_SIZES: [u32; 4] = [64, 256, 1024, 4096];
+
+/// One point of the QST-depth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QstPoint {
+    /// QST entries.
+    pub entries: u32,
+    /// Speedup over the software baseline.
+    pub speedup: f64,
+    /// Mean QST occupancy.
+    pub occupancy: f64,
+}
+
+fn jvm_system(seed: u64) -> (System, JvmGc) {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), seed);
+    let w = JvmGc::build(sys.guest_mut(), 30_000, 400, 21);
+    (sys, w)
+}
+
+/// Sweeps QST depth under the Core-integrated scheme on the dense-query
+/// JVM workload (where the QST is the binding resource).
+pub fn qst_size_sweep() -> Vec<QstPoint> {
+    let (mut sys, w) = jvm_system(0xAB1);
+    let baseline = sys.run_baseline(&w);
+    QST_SIZES
+        .iter()
+        .map(|&entries| {
+            sys.config_mut().qei.qst_entries = entries;
+            let r = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+            QstPoint {
+                entries,
+                speedup: baseline.cycles as f64 / r.cycles as f64,
+                occupancy: r.qst_occupancy,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps comparators per CHA (RocksDB: 100-byte out-of-line keys make the
+/// comparators the most exercised DPU element).
+pub fn comparator_sweep() -> Vec<(u32, f64)> {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xAB2);
+    let w = RocksDbMem::build(sys.guest_mut(), 4_000, 250, 22);
+    let baseline = sys.run_baseline(&w);
+    COMPARATOR_COUNTS
+        .iter()
+        .map(|&n| {
+            sys.config_mut().qei.comparators_per_cha = n;
+            let r = sys.run_qei(&w, Scheme::ChaTlb, None);
+            (n, baseline.cycles as f64 / r.cycles as f64)
+        })
+        .collect()
+}
+
+/// Sweeps the CHA-TLB scheme's dedicated TLB size; reports speedup and the
+/// accelerator-path TLB miss ratio.
+pub fn tlb_size_sweep() -> Vec<(u32, f64, f64)> {
+    let (mut sys, w) = jvm_system(0xAB3);
+    let baseline = sys.run_baseline(&w);
+    TLB_SIZES
+        .iter()
+        .map(|&entries| {
+            sys.config_mut().qei.accel_tlb_entries = entries;
+            let r = sys.run_qei(&w, Scheme::ChaTlb, None);
+            let accel = r.accel.expect("accel stats");
+            let miss_rate = if accel.tlb_lookups == 0 {
+                0.0
+            } else {
+                accel.tlb_misses as f64 / accel.tlb_lookups as f64
+            };
+            (entries, baseline.cycles as f64 / r.cycles as f64, miss_rate)
+        })
+        .collect()
+}
+
+/// Near-data (in-CHA) vs local (fetch-and-compare) comparison, per workload
+/// flavor: inline-key trees barely care; out-of-line 100-byte keys show the
+/// difference.
+pub fn compare_placement() -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    {
+        let (mut sys, w) = jvm_system(0xAB4);
+        let baseline = sys.run_baseline(&w);
+        let near = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+        let local = sys.run_qei_local_compare(&w, Scheme::CoreIntegrated);
+        out.push((
+            format!("{} (inline keys)", w.name()),
+            baseline.cycles as f64 / near.cycles as f64,
+            baseline.cycles as f64 / local.cycles as f64,
+        ));
+    }
+    {
+        let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xAB5);
+        let w = RocksDbMem::build(sys.guest_mut(), 4_000, 250, 23);
+        let baseline = sys.run_baseline(&w);
+        let near = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+        let local = sys.run_qei_local_compare(&w, Scheme::CoreIntegrated);
+        out.push((
+            format!("{} (100 B out-of-line keys)", w.name()),
+            baseline.cycles as f64 / near.cycles as f64,
+            baseline.cycles as f64 / local.cycles as f64,
+        ));
+    }
+    out
+}
+
+/// Renders all ablations as text tables.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str(&render::table(
+        "Ablation — QST depth (Core-integrated, JVM; paper picks 10 for 50~90% occupancy)",
+        &["QST entries", "speedup", "occupancy"],
+        &qst_size_sweep()
+            .iter()
+            .map(|p| {
+                vec![
+                    p.entries.to_string(),
+                    render::speedup(p.speedup),
+                    render::pct(p.occupancy),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&render::table(
+        "Ablation — comparators per CHA (CHA-TLB, RocksDB)",
+        &["comparators", "speedup"],
+        &comparator_sweep()
+            .iter()
+            .map(|(n, s)| vec![n.to_string(), render::speedup(*s)])
+            .collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&render::table(
+        "Ablation — dedicated TLB size (CHA-TLB, JVM)",
+        &["TLB entries", "speedup", "accel TLB miss rate"],
+        &tlb_size_sweep()
+            .iter()
+            .map(|(n, s, m)| vec![n.to_string(), render::speedup(*s), render::pct(*m)])
+            .collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&render::table(
+        "Ablation — near-data vs local comparison (Core-integrated)",
+        &["workload", "near-data (CHA) speedup", "local (fetch+compare) speedup"],
+        &compare_placement()
+            .iter()
+            .map(|(w, a, b)| vec![w.clone(), render::speedup(*a), render::speedup(*b)])
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qst_depth_shows_diminishing_returns() {
+        let points = qst_size_sweep();
+        assert_eq!(points.len(), QST_SIZES.len());
+        let by = |n: u32| points.iter().find(|p| p.entries == n).unwrap();
+        // More slots never hurt, and 2 -> 10 is a real improvement.
+        assert!(by(10).speedup > by(2).speedup * 1.3, "{points:?}");
+        // Beyond 10 the returns flatten (the paper's sizing argument): going
+        // 10 -> 40 buys less than 2 -> 10 did.
+        let low_gain = by(10).speedup / by(2).speedup;
+        let high_gain = by(40).speedup / by(10).speedup;
+        assert!(high_gain < low_gain, "low {low_gain:.2} high {high_gain:.2}");
+        // Occupancy falls as depth grows past the useful point.
+        assert!(by(40).occupancy < by(5).occupancy);
+    }
+
+    #[test]
+    fn tlb_sweep_miss_rate_monotone() {
+        let points = tlb_size_sweep();
+        for w in points.windows(2) {
+            assert!(
+                w[1].2 <= w[0].2 + 1e-9,
+                "miss rate should not rise with TLB size: {points:?}"
+            );
+        }
+    }
+}

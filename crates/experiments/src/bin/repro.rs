@@ -1,0 +1,112 @@
+//! `repro` — regenerates the QEI paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all            # every experiment at paper scale
+//! repro fig7           # one experiment
+//! repro --quick all    # small datasets (smoke run)
+//! ```
+
+use qei_experiments::{ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, suite, tab1, tab2, tab3};
+use qei_experiments::{Scale, SuiteData};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] <experiment|all>\n  experiments: {}",
+        qei_experiments::ALL_EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    args.retain(|a| {
+        if a == "--quick" {
+            scale = Scale::Quick;
+            false
+        } else {
+            true
+        }
+    });
+    if args.len() != 1 {
+        usage();
+    }
+    let what = args[0].as_str();
+
+    // Experiments that need the shared run matrix.
+    let needs_suite = matches!(
+        what,
+        "all" | "fig1" | "fig7" | "fig9" | "fig11" | "fig12" | "occupancy"
+    );
+    let data: Option<SuiteData> = if needs_suite {
+        eprintln!("[repro] running workload x scheme matrix at {scale:?} scale ...");
+        Some(suite::collect(scale))
+    } else {
+        None
+    };
+    let data = data.as_ref();
+
+    let mut ran = false;
+    let mut emit = |body: String| {
+        println!("{body}");
+        ran = true;
+    };
+
+    if what == "all" || what == "fig1" {
+        emit(fig1::render(data.expect("suite")));
+    }
+    if what == "all" || what == "tab1" {
+        emit(tab1::render());
+    }
+    if what == "all" || what == "tab2" {
+        emit(tab2::render());
+    }
+    if what == "all" || what == "fig7" {
+        emit(fig7::render(data.expect("suite")));
+    }
+    if what == "all" || what == "fig8" {
+        eprintln!("[repro] fig8 latency sweep ...");
+        emit(fig8::render(scale));
+    }
+    if what == "all" || what == "fig9" {
+        emit(fig9::render(data.expect("suite")));
+    }
+    if what == "all" || what == "fig10" {
+        eprintln!("[repro] fig10 tuple-space sweep ...");
+        let s = match scale {
+            Scale::Quick => fig10::Fig10Scale::quick(),
+            Scale::Paper => fig10::Fig10Scale::paper(),
+        };
+        emit(fig10::render(s));
+    }
+    if what == "all" || what == "fig11" {
+        emit(fig11::render(data.expect("suite")));
+    }
+    if what == "all" || what == "fig12" {
+        emit(fig12::render(data.expect("suite")));
+    }
+    if what == "all" || what == "tab3" {
+        emit(tab3::render());
+    }
+    if what == "all" || what == "occupancy" {
+        let data = data.expect("suite");
+        let mut body =
+            String::from("QST occupancy under Core-integrated (paper: 50%~90% at 10 entries)\n");
+        for b in &data.benches {
+            let r = b.report(qei_config::Scheme::CoreIntegrated);
+            body.push_str(&format!("  {:8} {:.0}%\n", b.name, r.qst_occupancy * 100.0));
+        }
+        emit(body);
+    }
+
+    if what == "all" || what == "ablations" {
+        eprintln!("[repro] ablation sweeps ...");
+        emit(ablations::render());
+    }
+
+    if !ran {
+        usage();
+    }
+}

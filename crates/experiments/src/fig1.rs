@@ -1,0 +1,96 @@
+//! Fig. 1 + the Section II top-down analysis: fraction of application time
+//! spent in query operations, and the frontend/backend split of the query
+//! ROI.
+//!
+//! Paper anchors: query operations consume 23–44% of CPU time across the
+//! workloads; DPDK (hash) is backend-bound, RocksDB/JVM (list/tree) show
+//! higher frontend pressure from data-dependent branches.
+
+use crate::render;
+use crate::suite::SuiteData;
+
+/// One workload's profiling row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Fraction of total application time in query operations.
+    pub query_fraction: f64,
+    /// Frontend-bound fraction of the ROI (pipeline slots lost to fetch).
+    pub frontend_bound: f64,
+    /// Backend-bound fraction of the ROI.
+    pub backend_bound: f64,
+}
+
+/// Computes the rows from already-collected suite data.
+pub fn rows(data: &SuiteData) -> Vec<Fig1Row> {
+    data.benches
+        .iter()
+        .map(|b| {
+            let roi = b.baseline.cycles as f64;
+            let total = b.baseline.end_to_end_cycles(4);
+            Fig1Row {
+                workload: b.name,
+                query_fraction: roi / total,
+                frontend_bound: b.baseline.run.frontend_bound(),
+                backend_bound: b.baseline.run.backend_bound(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a text table.
+pub fn render(data: &SuiteData) -> String {
+    let rows = rows(data);
+    render::table(
+        "Fig. 1 — Query-operation share of execution time (paper: 23%~44%) and top-down split",
+        &["workload", "query-time share", "ROI frontend-bound", "ROI backend-bound"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.to_owned(),
+                    render::pct(r.query_fraction),
+                    render::pct(r.frontend_bound),
+                    render::pct(r.backend_bound),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{collect, Scale};
+
+    #[test]
+    fn fractions_are_sane_and_nontrivial() {
+        let data = collect(Scale::Quick);
+        let rows = rows(&data);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.query_fraction > 0.05 && r.query_fraction < 0.98,
+                "{}: query fraction {:.2}",
+                r.workload,
+                r.query_fraction
+            );
+            assert!(r.frontend_bound >= 0.0 && r.frontend_bound <= 1.0);
+            assert!(r.backend_bound >= 0.0 && r.backend_bound <= 1.0);
+        }
+        // Tree/list workloads show more frontend pressure than the hash
+        // workload, the paper's §II observation.
+        let by_name = |n: &str| rows.iter().find(|r| r.workload == n).unwrap().clone();
+        let jvm = by_name("JVM");
+        let dpdk = by_name("DPDK");
+        assert!(
+            jvm.frontend_bound > dpdk.frontend_bound,
+            "JVM fe {:.2} should exceed DPDK fe {:.2}",
+            jvm.frontend_bound,
+            dpdk.frontend_bound
+        );
+        let out = render(&data);
+        assert!(out.contains("DPDK") && out.contains("Fig. 1"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 11 — dynamic instructions executed by the core in the ROI:
+//! software baseline vs QEI.
+//!
+//! Paper anchor: a large reduction — QEI collapses hundreds of dynamic
+//! instructions per query into a handful (setup + one QUERY instruction),
+//! relieving frontend pressure.
+
+use crate::render;
+use crate::suite::SuiteData;
+use qei_config::Scheme;
+
+/// One workload's dynamic-instruction comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Core micro-ops per query, software baseline.
+    pub baseline_uops_per_query: f64,
+    /// Core micro-ops per query with QEI (blocking, Core-integrated).
+    pub qei_uops_per_query: f64,
+}
+
+impl Fig11Row {
+    /// Fraction of dynamic instructions eliminated.
+    pub fn reduction(&self) -> f64 {
+        1.0 - self.qei_uops_per_query / self.baseline_uops_per_query
+    }
+}
+
+/// Computes the rows from collected suite data.
+pub fn rows(data: &SuiteData) -> Vec<Fig11Row> {
+    data.benches
+        .iter()
+        .map(|b| Fig11Row {
+            workload: b.name,
+            baseline_uops_per_query: b.baseline.uops_per_query(),
+            qei_uops_per_query: b.report(Scheme::CoreIntegrated).uops_per_query(),
+        })
+        .collect()
+}
+
+/// Renders the figure as a text table.
+pub fn render(data: &SuiteData) -> String {
+    let rows = rows(data);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_owned(),
+                format!("{:.0}", r.baseline_uops_per_query),
+                format!("{:.0}", r.qei_uops_per_query),
+                render::pct(r.reduction()),
+            ]
+        })
+        .collect();
+    render::table(
+        "Fig. 11 — Dynamic core instructions per query in the ROI (paper: large reduction with QEI)",
+        &["workload", "baseline uops/query", "QEI uops/query", "reduction"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{collect, Scale};
+
+    #[test]
+    fn qei_eliminates_most_dynamic_instructions() {
+        let data = collect(Scale::Quick);
+        let rows = rows(&data);
+        for r in &rows {
+            assert!(
+                r.baseline_uops_per_query > 50.0,
+                "{}: baseline {:.0} uops/query implausibly small",
+                r.workload,
+                r.baseline_uops_per_query
+            );
+            assert!(
+                r.reduction() > 0.5,
+                "{}: only {:.0}% reduction",
+                r.workload,
+                r.reduction() * 100.0
+            );
+        }
+        let _ = &rows;
+        // RocksDB keeps the most core-side work (its big seek loop stays).
+        let rocks = rows.iter().find(|r| r.workload == "RocksDB").unwrap();
+        let jvm = rows.iter().find(|r| r.workload == "JVM").unwrap();
+        assert!(rocks.qei_uops_per_query > jvm.qei_uops_per_query);
+    }
+}

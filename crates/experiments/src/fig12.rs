@@ -1,0 +1,105 @@
+//! Fig. 12 — per-query dynamic power with QEI, normalized to the software
+//! baseline.
+//!
+//! Paper anchor: every scheme reduces per-query dynamic power by more than
+//! 60% (normalized values under 40%), from the eliminated frontend work and
+//! private-cache accesses.
+
+use crate::render;
+use crate::suite::SuiteData;
+use qei_config::Scheme;
+use qei_power::{qei_energy_per_query, software_energy_per_query, EnergyModel};
+
+/// One workload's normalized per-query dynamic energy across schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Baseline per-query dynamic energy in picojoules.
+    pub baseline_pj: f64,
+    /// (scheme, normalized energy fraction of baseline) pairs.
+    pub normalized: Vec<(Scheme, f64)>,
+}
+
+/// Computes the rows from collected suite data.
+pub fn rows(data: &SuiteData) -> Vec<Fig12Row> {
+    let model = EnergyModel::default();
+    data.benches
+        .iter()
+        .map(|b| {
+            let base_pj = software_energy_per_query(
+                &model,
+                &b.baseline.run,
+                &b.baseline.mem,
+                b.baseline.queries,
+            );
+            let normalized = Scheme::ALL
+                .iter()
+                .map(|&s| {
+                    let r = b.report(s);
+                    let accel = r.accel.as_ref().expect("QEI run has accel stats");
+                    let qei_pj = qei_energy_per_query(
+                        &model,
+                        &r.run,
+                        &r.mem,
+                        accel,
+                        r.noc_bytes,
+                        r.queries,
+                    );
+                    (s, qei_pj / base_pj)
+                })
+                .collect();
+            Fig12Row {
+                workload: b.name,
+                baseline_pj: base_pj,
+                normalized,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a text table.
+pub fn render(data: &SuiteData) -> String {
+    let rows = rows(data);
+    let mut header = vec!["workload", "baseline pJ/query"];
+    for s in Scheme::ALL {
+        header.push(s.label());
+    }
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.workload.to_owned(), format!("{:.0}", r.baseline_pj)];
+            cells.extend(r.normalized.iter().map(|(_, v)| render::pct(*v)));
+            cells
+        })
+        .collect();
+    render::table(
+        "Fig. 12 — Per-query dynamic power normalized to software (paper: <40% for all schemes, i.e. >60% reduction)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{collect, Scale};
+
+    #[test]
+    fn dynamic_energy_drops_sharply() {
+        let data = collect(Scale::Quick);
+        let rows = rows(&data);
+        for r in &rows {
+            assert!(r.baseline_pj > 100.0, "{}: baseline {:.0} pJ", r.workload, r.baseline_pj);
+            for (s, frac) in &r.normalized {
+                assert!(
+                    *frac < 0.6,
+                    "{} {s}: normalized energy {:.2} too high",
+                    r.workload,
+                    frac
+                );
+                assert!(*frac > 0.005, "{} {s}: {frac:.4} implausibly low", r.workload);
+            }
+        }
+    }
+}

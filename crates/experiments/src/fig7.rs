@@ -1,0 +1,110 @@
+//! Fig. 7 — speedup of lookup operations per workload per integration
+//! scheme.
+//!
+//! Paper anchors: CHA-TLB best everywhere (up to 12.7×); Core-integrated
+//! within 0.9–15.0% of it (up to 10.4×); CHA-noTLB 0.5–17.9% behind CHA-TLB;
+//! Device-based schemes trail badly for short queries (hash tables) and get
+//! closer for long ones (tree/trie); ~8× average over the software baseline.
+
+use crate::render;
+use crate::suite::SuiteData;
+use qei_config::Scheme;
+
+/// One workload's speedups across the five schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// (scheme, speedup-over-baseline) pairs in [`Scheme::ALL`] order.
+    pub speedups: Vec<(Scheme, f64)>,
+}
+
+/// Computes the rows from collected suite data.
+pub fn rows(data: &SuiteData) -> Vec<Fig7Row> {
+    data.benches
+        .iter()
+        .map(|b| Fig7Row {
+            workload: b.name,
+            speedups: Scheme::ALL.iter().map(|&s| (s, b.speedup(s))).collect(),
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup per scheme across the workloads.
+pub fn geomean_per_scheme(data: &SuiteData) -> Vec<(Scheme, f64)> {
+    Scheme::ALL
+        .iter()
+        .map(|&s| {
+            let product: f64 = data.benches.iter().map(|b| b.speedup(s).ln()).sum();
+            (s, (product / data.benches.len() as f64).exp())
+        })
+        .collect()
+}
+
+/// Renders the figure as a text table.
+pub fn render(data: &SuiteData) -> String {
+    let rows = rows(data);
+    let mut header = vec!["workload"];
+    for s in Scheme::ALL {
+        header.push(s.label());
+    }
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.workload.to_owned()];
+            cells.extend(r.speedups.iter().map(|(_, v)| render::speedup(*v)));
+            cells
+        })
+        .collect();
+    let mut mean = vec!["geomean".to_owned()];
+    mean.extend(
+        geomean_per_scheme(data)
+            .iter()
+            .map(|(_, v)| render::speedup(*v)),
+    );
+    body.push(mean);
+    render::table(
+        "Fig. 7 — Lookup-operation speedup over software baseline (paper: CHA-TLB up to 12.7x, Core-integrated up to 10.4x, ~8x average)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{collect, Scale};
+
+    #[test]
+    fn fig7_shapes_hold_at_quick_scale() {
+        let data = collect(Scale::Quick);
+        let rows = rows(&data);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            let get = |s: Scheme| r.speedups.iter().find(|(x, _)| *x == s).unwrap().1;
+            let cha = get(Scheme::ChaTlb);
+            let core = get(Scheme::CoreIntegrated);
+            let dev_ind = get(Scheme::DeviceIndirect);
+            // CHA-TLB is the best (or statistically tied) scheme.
+            for (_, v) in &r.speedups {
+                assert!(cha >= *v * 0.85, "{}: CHA-TLB {cha:.2} vs {v:.2}", r.workload);
+            }
+            // Core-integrated is competitive with CHA-TLB.
+            assert!(
+                core > cha * 0.55,
+                "{}: Core-integrated {core:.2} too far behind CHA-TLB {cha:.2}",
+                r.workload
+            );
+            // Device-indirect is the worst scheme.
+            for (_, v) in &r.speedups {
+                assert!(
+                    dev_ind <= *v * 1.05,
+                    "{}: Device-indirect {dev_ind:.2} should trail {v:.2}",
+                    r.workload
+                );
+            }
+        }
+        let out = render(&data);
+        assert!(out.contains("geomean"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 8 — Device-indirect latency sensitivity: sweep the accelerator's
+//! per-access device-interface latency from 50 to 2000 cycles and report the
+//! speedup over the software baseline per workload.
+//!
+//! Paper anchor: a non-trivial performance drop for all workloads as the
+//! interface latency grows; short-query workloads (hash tables) collapse
+//! fastest.
+
+use crate::render;
+use crate::suite::{build_benches, Scale};
+use qei_config::Scheme;
+
+/// The swept interface latencies (cycles), matching the paper's axis.
+pub const LATENCIES: [u64; 6] = [50, 100, 250, 500, 1000, 2000];
+
+/// One workload's sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// (interface latency, speedup-over-baseline) pairs.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Runs the sweep at the given scale.
+pub fn rows(scale: Scale) -> Vec<Fig8Row> {
+    let mut out = Vec::new();
+    for mut bench in build_benches(scale) {
+        let baseline = bench.sys.run_baseline(bench.workload.as_ref());
+        let mut points = Vec::new();
+        for lat in LATENCIES {
+            let r = bench
+                .sys
+                .run_qei(bench.workload.as_ref(), Scheme::DeviceIndirect, Some(lat));
+            points.push((lat, baseline.cycles as f64 / r.cycles as f64));
+        }
+        out.push(Fig8Row {
+            workload: baseline.workload,
+            points,
+        });
+    }
+    out
+}
+
+/// Renders the figure as a text table.
+pub fn render(scale: Scale) -> String {
+    let rows = rows(scale);
+    let mut header = vec!["workload".to_owned()];
+    header.extend(LATENCIES.iter().map(|l| format!("{l}cy")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.workload.to_owned()];
+            cells.extend(r.points.iter().map(|(_, v)| render::speedup(*v)));
+            cells
+        })
+        .collect();
+    render::table(
+        "Fig. 8 — Device-indirect speedup vs device-interface access latency (paper: monotone drop, 50→2000 cycles)",
+        &header_refs,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotonically_nonincreasing() {
+        let rows = rows(Scale::Quick);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            for w in r.points.windows(2) {
+                assert!(
+                    w[1].1 <= w[0].1 * 1.08,
+                    "{}: speedup rose from {:.2} at {}cy to {:.2} at {}cy",
+                    r.workload,
+                    w[0].1,
+                    w[0].0,
+                    w[1].1,
+                    w[1].0
+                );
+            }
+            let first = r.points.first().unwrap().1;
+            let last = r.points.last().unwrap().1;
+            assert!(
+                last < first * 0.7,
+                "{}: no meaningful drop across the sweep ({first:.2} → {last:.2})",
+                r.workload
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 9 — end-to-end query/packet-per-second improvement.
+//!
+//! The full application includes work outside the query ROI; accelerating
+//! only the ROI yields an Amdahl-limited end-to-end gain. Paper anchor:
+//! 36.2%–66.7% improvement, with the Core-integrated scheme at the same
+//! level as the CHA-based ones.
+
+use crate::render;
+use crate::suite::SuiteData;
+use qei_config::Scheme;
+
+/// One workload's end-to-end improvements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// (scheme, end-to-end throughput improvement fraction) pairs.
+    pub improvements: Vec<(Scheme, f64)>,
+}
+
+/// Computes the rows from collected suite data.
+pub fn rows(data: &SuiteData) -> Vec<Fig9Row> {
+    data.benches
+        .iter()
+        .map(|b| {
+            let base_e2e = b.baseline.end_to_end_cycles(4);
+            Fig9Row {
+                workload: b.name,
+                improvements: Scheme::ALL
+                    .iter()
+                    .map(|&s| {
+                        let qei_e2e = b.report(s).end_to_end_cycles(4);
+                        (s, base_e2e / qei_e2e - 1.0)
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a text table.
+pub fn render(data: &SuiteData) -> String {
+    let rows = rows(data);
+    let mut header = vec!["workload"];
+    for s in Scheme::ALL {
+        header.push(s.label());
+    }
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.workload.to_owned()];
+            cells.extend(r.improvements.iter().map(|(_, v)| render::pct(*v)));
+            cells
+        })
+        .collect();
+    render::table(
+        "Fig. 9 — End-to-end query/packet-per-second improvement (paper: 36.2%~66.7%)",
+        &header,
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{collect, Scale};
+
+    #[test]
+    fn end_to_end_gains_are_amdahl_limited() {
+        let data = collect(Scale::Quick);
+        let rows = rows(&data);
+        for (row, bench) in rows.iter().zip(&data.benches) {
+            for &(scheme, imp) in &row.improvements {
+                let roi_speedup = bench.speedup(scheme);
+                if roi_speedup > 1.0 {
+                    // End-to-end gain must be positive but smaller than the
+                    // ROI speedup (the non-ROI part is untouched).
+                    assert!(imp > 0.0, "{} {scheme}: {imp:.3}", row.workload);
+                    assert!(
+                        1.0 + imp < roi_speedup,
+                        "{} {scheme}: e2e {imp:.2} vs roi {roi_speedup:.2}",
+                        row.workload
+                    );
+                }
+            }
+        }
+        // Core-integrated is at the same level as CHA-based (paper).
+        for row in &rows {
+            let get = |s: Scheme| {
+                row.improvements
+                    .iter()
+                    .find(|(x, _)| *x == s)
+                    .unwrap()
+                    .1
+            };
+            let core = get(Scheme::CoreIntegrated);
+            let cha = get(Scheme::ChaTlb);
+            if cha > 0.05 && core > 0.0 {
+                assert!(
+                    core > cha * 0.4,
+                    "{}: core {core:.2} vs cha {cha:.2}",
+                    row.workload
+                );
+            }
+        }
+    }
+}

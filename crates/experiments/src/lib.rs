@@ -1,0 +1,32 @@
+//! Regenerates every table and figure of the QEI paper's evaluation
+//! (Section VII) from the simulation substrate.
+//!
+//! Each `figN`/`tabN` module produces typed rows plus a text rendering; the
+//! `repro` binary prints them (`repro all`, `repro fig7`, …) and the
+//! criterion benches in `qei-bench` wrap the same entry points. Absolute
+//! numbers differ from the paper (our substrate is a from-scratch simulator,
+//! not the authors' Sniper configuration); EXPERIMENTS.md records
+//! paper-vs-measured and checks the *shapes*: which scheme wins, by roughly
+//! what factor, and where the crossovers fall.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod render;
+pub mod suite;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+
+pub use suite::{Bench, BenchResult, Scale, SuiteData};
+
+/// All experiment identifiers, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "fig1", "tab1", "tab2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab3", "occupancy",
+    "ablations",
+];

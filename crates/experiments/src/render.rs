@@ -1,0 +1,84 @@
+//! Minimal fixed-width text-table renderer for experiment output.
+
+/// Renders a table: a title, a header row, and data rows, with columns
+/// padded to their widest cell.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch in table '{title}'");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:width$}", c, width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_owned: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_owned));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a speedup as `N.NNx`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = table(
+            "Demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(out.contains("Demo"));
+        assert!(out.contains("long-name"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and separator exist.
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].starts_with("---"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(speedup(8.1), "8.10x");
+        assert_eq!(pct(0.359), "35.9%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let _ = table("t", &["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

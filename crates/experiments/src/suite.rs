@@ -1,0 +1,215 @@
+//! Shared experiment infrastructure: workload construction at two scales and
+//! the full (workload × scheme) run matrix most figures consume.
+
+use qei_config::{MachineConfig, Scheme};
+use qei_sim::{RunReport, System};
+use qei_workloads::dpdk::DpdkFib;
+use qei_workloads::flann::FlannLsh;
+use qei_workloads::jvm::JvmGc;
+use qei_workloads::rocksdb::RocksDbMem;
+use qei_workloads::snort::SnortAc;
+use qei_workloads::Workload;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets for tests and smoke runs (seconds).
+    Quick,
+    /// The reproduction scale: working sets larger than the 1 MB private L2
+    /// (the paper's premise) but LLC-resident, with enough queries for
+    /// steady-state measurement.
+    Paper,
+}
+
+/// One constructed workload plus the system (guest) it lives in.
+pub struct Bench {
+    /// The owning system.
+    pub sys: System,
+    /// The workload.
+    pub workload: Box<dyn Workload>,
+}
+
+impl std::fmt::Debug for Bench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bench")
+            .field("workload", &self.workload.name())
+            .finish()
+    }
+}
+
+/// The measured matrix for one workload.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Software-baseline report.
+    pub baseline: RunReport,
+    /// QEI (blocking) report per scheme, in [`Scheme::ALL`] order.
+    pub per_scheme: Vec<(Scheme, RunReport)>,
+}
+
+/// The full suite's measurements (figures 7, 9, 11, 12 all read this).
+#[derive(Debug, Clone)]
+pub struct SuiteData {
+    /// One entry per workload, paper order.
+    pub benches: Vec<BenchResult>,
+}
+
+fn config() -> MachineConfig {
+    MachineConfig::skylake_sp_24()
+}
+
+/// Builds the five paper workloads at the given scale.
+pub fn build_benches(scale: Scale) -> Vec<Bench> {
+    let mut out = Vec::new();
+
+    // DPDK: 16 B keys; Paper scale sized past the 1 MB L2.
+    {
+        let mut sys = System::new(config(), 0xD1);
+        let (flows, queries) = match scale {
+            Scale::Quick => (2_000, 200),
+            Scale::Paper => (64_000, 1_500),
+        };
+        let w = DpdkFib::build(sys.guest_mut(), flows, queries, 1);
+        out.push(Bench {
+            sys,
+            workload: Box::new(w),
+        });
+    }
+    // JVM: object tree.
+    {
+        let mut sys = System::new(config(), 0xD2);
+        let (objects, queries) = match scale {
+            Scale::Quick => (20_000, 300),
+            Scale::Paper => (150_000, 1_500),
+        };
+        let w = JvmGc::build(sys.guest_mut(), objects, queries, 2);
+        out.push(Bench {
+            sys,
+            workload: Box::new(w),
+        });
+    }
+    // RocksDB: 10 k items as in the paper; 100 B keys.
+    {
+        let mut sys = System::new(config(), 0xD3);
+        let (items, queries) = match scale {
+            Scale::Quick => (2_000, 150),
+            Scale::Paper => (10_000, 800),
+        };
+        let w = RocksDbMem::build(sys.guest_mut(), items, queries, 3);
+        out.push(Bench {
+            sys,
+            workload: Box::new(w),
+        });
+    }
+    // Snort: keyword dictionary + 1 KB scans.
+    {
+        let mut sys = System::new(config(), 0xD4);
+        let (keywords, scans, text) = match scale {
+            Scale::Quick => (400, 6, 256),
+            Scale::Paper => (6_000, 25, 1_024),
+        };
+        let w = SnortAc::build(sys.guest_mut(), keywords, scans, text, 4);
+        out.push(Bench {
+            sys,
+            workload: Box::new(w),
+        });
+    }
+    // FLANN: 12 LSH tables, 20 B keys.
+    {
+        let mut sys = System::new(config(), 0xD5);
+        let (tables, items, searches) = match scale {
+            Scale::Quick => (4, 2_000, 20),
+            Scale::Paper => (12, 25_000, 120),
+        };
+        let w = FlannLsh::build(sys.guest_mut(), tables, items, searches, 5);
+        out.push(Bench {
+            sys,
+            workload: Box::new(w),
+        });
+    }
+    out
+}
+
+/// Runs the full baseline + five-scheme matrix at the given scale.
+pub fn collect(scale: Scale) -> SuiteData {
+    let benches = build_benches(scale);
+    let mut results = Vec::new();
+    for mut bench in benches {
+        let baseline = bench.sys.run_baseline(bench.workload.as_ref());
+        let mut per_scheme = Vec::new();
+        for scheme in Scheme::ALL {
+            let report = bench.sys.run_qei(bench.workload.as_ref(), scheme, None);
+            per_scheme.push((scheme, report));
+        }
+        results.push(BenchResult {
+            name: baseline.workload,
+            baseline,
+            per_scheme,
+        });
+    }
+    SuiteData { benches: results }
+}
+
+impl BenchResult {
+    /// Speedup of `scheme` over the software baseline.
+    pub fn speedup(&self, scheme: Scheme) -> f64 {
+        let qei = self
+            .per_scheme
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, r)| r)
+            .expect("scheme measured");
+        self.baseline.cycles as f64 / qei.cycles as f64
+    }
+
+    /// The QEI report for `scheme`.
+    pub fn report(&self, scheme: Scheme) -> &RunReport {
+        &self
+            .per_scheme
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .expect("scheme measured")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_builds_five_workloads() {
+        let benches = build_benches(Scale::Quick);
+        assert_eq!(benches.len(), 5);
+        let names: Vec<&str> = benches.iter().map(|b| b.workload.name()).collect();
+        assert_eq!(names, ["DPDK", "JVM", "RocksDB", "Snort", "FLANN"]);
+    }
+
+    #[test]
+    fn quick_collect_produces_full_matrix() {
+        let data = collect(Scale::Quick);
+        assert_eq!(data.benches.len(), 5);
+        for b in &data.benches {
+            assert_eq!(b.per_scheme.len(), 5);
+            assert!(b.baseline.cycles > 0);
+            for (s, r) in &b.per_scheme {
+                assert!(r.cycles > 0, "{} {s} has no cycles", b.name);
+                assert!(r.correct);
+            }
+            // The headline claim at least holds directionally even at
+            // quick scale: the best QEI scheme beats software — except for
+            // RocksDB, whose large per-request seek loop keeps it core-bound
+            // (the paper's own §VII-A caveat; see EXPERIMENTS.md).
+            let best = qei_config::Scheme::ALL
+                .iter()
+                .map(|&s| b.speedup(s))
+                .fold(0.0f64, f64::max);
+            if b.name != "RocksDB" {
+                assert!(best > 1.0, "{}: best speedup {best:.2}", b.name);
+            } else {
+                assert!(best > 0.2, "RocksDB: best speedup {best:.2}");
+            }
+        }
+    }
+}

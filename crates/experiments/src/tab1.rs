@@ -1,0 +1,62 @@
+//! Table I — qualitative and latency comparison of the integration schemes.
+
+use crate::render;
+use qei_config::Scheme;
+
+/// Renders Table I from the scheme parameters.
+pub fn render() -> String {
+    let body: Vec<Vec<String>> = Scheme::ALL
+        .iter()
+        .map(|&s| {
+            let p = s.params();
+            vec![
+                s.label().to_owned(),
+                format!("{}", p.core_accel_latency),
+                format!("{}", p.accel_data_latency),
+                p.hardware_cost.to_string(),
+                if s.has_dedicated_tlb() {
+                    "Dedicated".to_owned()
+                } else if s.translation_round_trips_to_core() {
+                    "Core MMU".to_owned()
+                } else {
+                    "Shared L2-TLB".to_owned()
+                },
+                if s.creates_hotspot() { "Yes" } else { "No" }.to_owned(),
+                if s.pollutes_private_caches() { "Yes" } else { "No" }.to_owned(),
+                p.scalability.to_string(),
+            ]
+        })
+        .collect();
+    render::table(
+        "Table I — Integration schemes (cycle values are the model's configured midpoints)",
+        &[
+            "scheme",
+            "accel-core cy",
+            "accel-data cy",
+            "HW cost",
+            "mem mgmt",
+            "NoC hotspot",
+            "private $ pollution",
+            "scalability",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_schemes() {
+        let out = super::render();
+        for label in [
+            "CHA-TLB",
+            "CHA-noTLB",
+            "Device-direct",
+            "Device-indirect",
+            "Core-integrated",
+        ] {
+            assert!(out.contains(label), "missing {label}");
+        }
+        assert!(out.contains("Shared L2-TLB"));
+    }
+}

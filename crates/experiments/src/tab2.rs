@@ -1,0 +1,77 @@
+//! Table II — the simulated CPU model configuration.
+
+use crate::render;
+use qei_config::MachineConfig;
+
+/// Renders Table II from the default machine configuration.
+pub fn render() -> String {
+    let m = MachineConfig::skylake_sp_24();
+    let body = vec![
+        vec![
+            "Cores".to_owned(),
+            format!("{} OoO cores, {} GHz", m.cores, m.clock_ghz),
+        ],
+        vec![
+            "Caches".to_owned(),
+            format!(
+                "{}-way {} KB L1D, {}-way {} MB L2, {}-way {} MB shared LLC ({} slices)",
+                m.l1d.ways,
+                m.l1d.size_bytes / 1024,
+                m.l2.ways,
+                m.l2.size_bytes / (1024 * 1024),
+                m.llc.ways,
+                m.llc.size_bytes / (1024 * 1024),
+                m.cores
+            ),
+        ],
+        vec![
+            "LQ/SQ/ROB".to_owned(),
+            format!("{}/{}/{}", m.lq_entries, m.sq_entries, m.rob_entries),
+        ],
+        vec![
+            "Memory".to_owned(),
+            format!(
+                "{} DDR4 channels, {:.1} B/cycle each, {} cycles idle latency",
+                m.dram.channels, m.dram.bytes_per_cycle_per_channel, m.dram.latency
+            ),
+        ],
+        vec![
+            "QEI".to_owned(),
+            format!(
+                "{} QST entries, {} ALUs/DPU, {} comparators/CHA, {} comparators/DPU (device)",
+                m.qei.qst_entries,
+                m.qei.alus_per_dpu,
+                m.qei.comparators_per_cha,
+                m.qei.comparators_per_dpu_device
+            ),
+        ],
+        vec![
+            "NoC".to_owned(),
+            format!(
+                "{}x{} mesh, {} cycles/hop, {:.0} B/cycle links",
+                m.mesh_width,
+                m.mesh_height(),
+                m.noc_hop_latency,
+                m.noc_link_bytes_per_cycle
+            ),
+        ],
+        vec!["Process".to_owned(), format!("{} nm", m.process_nm)],
+    ];
+    render::table(
+        "Table II — Simulated CPU model configuration",
+        &["item", "configuration"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_ii_mentions_key_parameters() {
+        let out = super::render();
+        assert!(out.contains("24 OoO cores"));
+        assert!(out.contains("72/56/224"));
+        assert!(out.contains("22 nm"));
+        assert!(out.contains("10 QST entries"));
+    }
+}

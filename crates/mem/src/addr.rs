@@ -1,0 +1,141 @@
+//! Address newtypes and page geometry.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Page size: 4 KB, as in the paper (no huge pages — their absence is a core
+/// premise of the integration-scheme comparison).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// log2 of [`PAGE_BYTES`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A guest *virtual* address.
+///
+/// # Example
+///
+/// ```
+/// use qei_mem::VirtAddr;
+/// let a = VirtAddr(0x1234);
+/// assert_eq!(a.vpn(), 1);
+/// assert_eq!(a.page_offset(), 0x234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A guest *physical* address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+macro_rules! addr_impl {
+    ($t:ident) => {
+        impl $t {
+            /// The null address.
+            pub const NULL: $t = $t(0);
+
+            /// Virtual/physical page number.
+            #[inline]
+            pub fn vpn(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// Offset within the page.
+            #[inline]
+            pub fn page_offset(self) -> u64 {
+                self.0 & (PAGE_BYTES - 1)
+            }
+
+            /// Whether this is the null address (used as a guest NULL pointer).
+            #[inline]
+            pub fn is_null(self) -> bool {
+                self.0 == 0
+            }
+
+            /// The 64-byte cache line index this address falls in.
+            #[inline]
+            pub fn line(self) -> u64 {
+                self.0 >> 6
+            }
+
+            /// Address rounded down to its cache-line base.
+            #[inline]
+            pub fn line_base(self) -> $t {
+                $t(self.0 & !63)
+            }
+        }
+
+        impl Add<u64> for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: u64) -> $t {
+                $t(self.0 + rhs)
+            }
+        }
+
+        impl Sub<u64> for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: u64) -> $t {
+                $t(self.0 - rhs)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_impl!(VirtAddr);
+addr_impl!(PhysAddr);
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_geometry() {
+        let a = VirtAddr(3 * PAGE_BYTES + 17);
+        assert_eq!(a.vpn(), 3);
+        assert_eq!(a.page_offset(), 17);
+        assert!(!a.is_null());
+        assert!(VirtAddr::NULL.is_null());
+    }
+
+    #[test]
+    fn line_math() {
+        let a = PhysAddr(0x1_00C7);
+        assert_eq!(a.line(), 0x1_00C7 >> 6);
+        assert_eq!(a.line_base().0 % 64, 0);
+        assert!(a.line_base().0 <= a.0 && a.0 < a.line_base().0 + 64);
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = VirtAddr(0x1000);
+        assert_eq!((a + 8).0, 0x1008);
+        assert_eq!((a - 8).0, 0xff8);
+        assert_eq!(a.to_string(), "0x1000");
+        assert_eq!(format!("{:x}", a), "1000");
+    }
+}

@@ -1,0 +1,54 @@
+//! Memory access errors.
+
+use crate::addr::VirtAddr;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by guest memory operations.
+///
+/// These map directly onto the accelerator's exception model (paper §IV-D):
+/// a query dereferencing an unmapped or null pointer transitions its CFA to
+/// the `EXCEPTION` state and the error code is delivered to software.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// A virtual page had no translation.
+    Unmapped(VirtAddr),
+    /// The guest dereferenced a null pointer.
+    NullDeref,
+    /// The guest heap ran out of its configured virtual region.
+    OutOfMemory,
+    /// An access would wrap the 64-bit address space.
+    AddressOverflow(VirtAddr),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped(a) => write!(f, "unmapped virtual address {a}"),
+            MemError::NullDeref => write!(f, "null pointer dereference"),
+            MemError::OutOfMemory => write!(f, "guest heap exhausted"),
+            MemError::AddressOverflow(a) => write!(f, "address overflow at {a}"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemError::Unmapped(VirtAddr(0x4000));
+        assert!(e.to_string().contains("0x4000"));
+        assert!(MemError::NullDeref.to_string().contains("null"));
+        assert!(MemError::OutOfMemory.to_string().contains("heap"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(MemError::NullDeref);
+    }
+}

@@ -1,0 +1,36 @@
+//! Guest memory substrate: physical memory, virtual address spaces with 4 KB
+//! paging, a fragmenting frame allocator, a guest heap, and TLB models.
+//!
+//! The QEI paper's motivation for sharing the L2-TLB (and the weakness of the
+//! CHA-noTLB scheme) hinges on queried data structures *not* living in
+//! physically contiguous memory. This crate reproduces that environment: the
+//! frame allocator hands out physical frames in a seeded pseudo-random order,
+//! so virtually contiguous allocations straddle scattered physical pages and
+//! every pointer dereference needs real address translation.
+//!
+//! # Example
+//!
+//! ```
+//! use qei_mem::GuestMem;
+//!
+//! let mut mem = GuestMem::new(7); // deterministic seed
+//! let p = mem.alloc(64, 8).unwrap();
+//! mem.write_u64(p, 0xdead_beef).unwrap();
+//! assert_eq!(mem.read_u64(p).unwrap(), 0xdead_beef);
+//! ```
+
+pub mod addr;
+pub mod error;
+pub mod frame;
+pub mod guest;
+pub mod phys;
+pub mod space;
+pub mod tlb;
+
+pub use addr::{PhysAddr, VirtAddr, PAGE_BYTES, PAGE_SHIFT};
+pub use error::MemError;
+pub use frame::FrameAlloc;
+pub use guest::GuestMem;
+pub use phys::PhysMem;
+pub use space::AddressSpace;
+pub use tlb::{Tlb, TlbStats};

@@ -1,0 +1,117 @@
+//! Simulated physical memory: a sparse set of 4 KB frames.
+
+use crate::addr::{PhysAddr, PAGE_BYTES};
+use std::collections::HashMap;
+
+/// Sparse guest physical memory. Frames are materialized on first touch.
+///
+/// All reads/writes take *physical* addresses; translation happens in
+/// [`crate::AddressSpace`] / [`crate::GuestMem`]. Accesses may straddle frame
+/// boundaries.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, Box<[u8]>>,
+}
+
+impl PhysMem {
+    /// Creates an empty physical memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of frames that have been touched.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame_mut(&mut self, pfn: u64) -> &mut [u8] {
+        self.frames
+            .entry(pfn)
+            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `pa`. Untouched memory reads as 0.
+    pub fn read(&self, pa: PhysAddr, buf: &mut [u8]) {
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pfn = addr >> 12;
+            let off = (addr & (PAGE_BYTES - 1)) as usize;
+            let n = ((PAGE_BYTES as usize) - off).min(buf.len() - done);
+            match self.frames.get(&pfn) {
+                Some(frame) => buf[done..done + n].copy_from_slice(&frame[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// Writes `buf` starting at `pa`, materializing frames as needed.
+    pub fn write(&mut self, pa: PhysAddr, buf: &[u8]) {
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pfn = addr >> 12;
+            let off = (addr & (PAGE_BYTES - 1)) as usize;
+            let n = ((PAGE_BYTES as usize) - off).min(buf.len() - done);
+            self.frame_mut(pfn)[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `pa`.
+    pub fn read_u64(&self, pa: PhysAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(pa, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `pa`.
+    pub fn write_u64(&mut self, pa: PhysAddr, v: u64) {
+        self.write(pa, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = PhysMem::new();
+        let mut b = [0xffu8; 16];
+        m.read(PhysAddr(0x5000), &mut b);
+        assert_eq!(b, [0u8; 16]);
+        assert_eq!(m.resident_frames(), 0);
+    }
+
+    #[test]
+    fn round_trip_within_frame() {
+        let mut m = PhysMem::new();
+        m.write(PhysAddr(0x100), b"hello");
+        let mut b = [0u8; 5];
+        m.read(PhysAddr(0x100), &mut b);
+        assert_eq!(&b, b"hello");
+        assert_eq!(m.resident_frames(), 1);
+    }
+
+    #[test]
+    fn straddles_frame_boundary() {
+        let mut m = PhysMem::new();
+        let pa = PhysAddr(PAGE_BYTES - 3);
+        m.write(pa, b"abcdef");
+        let mut b = [0u8; 6];
+        m.read(pa, &mut b);
+        assert_eq!(&b, b"abcdef");
+        assert_eq!(m.resident_frames(), 2);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = PhysMem::new();
+        m.write_u64(PhysAddr(0x2FFC), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(PhysAddr(0x2FFC)), 0x0123_4567_89ab_cdef);
+    }
+}

@@ -1,0 +1,116 @@
+//! A virtual address space: the VA→PA page table.
+
+use crate::addr::{PhysAddr, VirtAddr, PAGE_SHIFT};
+use crate::error::MemError;
+use crate::frame::FrameAlloc;
+use std::collections::HashMap;
+
+/// One process's virtual address space.
+///
+/// The page table is functional (a map), but the *shape* of the mapping is
+/// what the timing models consume: pages are physically scattered by
+/// [`FrameAlloc`], so the accelerator must translate every pointer it chases.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    table: HashMap<u64, u64>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps virtual page `vpn` to a freshly allocated physical frame.
+    /// Returns the chosen frame number. Remapping an existing page is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is already mapped.
+    pub fn map_page(&mut self, vpn: u64, frames: &mut FrameAlloc) -> u64 {
+        let pfn = frames.alloc();
+        let prev = self.table.insert(vpn, pfn);
+        assert!(prev.is_none(), "vpn {vpn:#x} double-mapped");
+        pfn
+    }
+
+    /// Ensures `vpn` is mapped, mapping it on demand. Returns the frame.
+    pub fn ensure_mapped(&mut self, vpn: u64, frames: &mut FrameAlloc) -> u64 {
+        if let Some(&pfn) = self.table.get(&vpn) {
+            pfn
+        } else {
+            self.map_page(vpn, frames)
+        }
+    }
+
+    /// Translates a virtual address to a physical address.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NullDeref`] for the null address, [`MemError::Unmapped`]
+    /// when no translation exists.
+    pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, MemError> {
+        if va.is_null() {
+            return Err(MemError::NullDeref);
+        }
+        match self.table.get(&va.vpn()) {
+            Some(&pfn) => Ok(PhysAddr((pfn << PAGE_SHIFT) | va.page_offset())),
+            None => Err(MemError::Unmapped(va)),
+        }
+    }
+
+    /// Whether `vpn` has a translation.
+    pub fn is_mapped(&self, vpn: u64) -> bool {
+        self.table.contains_key(&vpn)
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_BYTES;
+
+    #[test]
+    fn translate_preserves_offset() {
+        let mut s = AddressSpace::new();
+        let mut fa = FrameAlloc::new(5);
+        let pfn = s.map_page(7, &mut fa);
+        let va = VirtAddr(7 * PAGE_BYTES + 123);
+        let pa = s.translate(va).unwrap();
+        assert_eq!(pa.0, (pfn << PAGE_SHIFT) + 123);
+    }
+
+    #[test]
+    fn unmapped_and_null_errors() {
+        let s = AddressSpace::new();
+        assert_eq!(s.translate(VirtAddr::NULL), Err(MemError::NullDeref));
+        let va = VirtAddr(0x10_0000);
+        assert_eq!(s.translate(va), Err(MemError::Unmapped(va)));
+    }
+
+    #[test]
+    fn ensure_mapped_is_idempotent() {
+        let mut s = AddressSpace::new();
+        let mut fa = FrameAlloc::new(5);
+        let a = s.ensure_mapped(3, &mut fa);
+        let b = s.ensure_mapped(3, &mut fa);
+        assert_eq!(a, b);
+        assert_eq!(s.mapped_pages(), 1);
+        assert!(s.is_mapped(3));
+        assert!(!s.is_mapped(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "double-mapped")]
+    fn double_map_panics() {
+        let mut s = AddressSpace::new();
+        let mut fa = FrameAlloc::new(5);
+        s.map_page(1, &mut fa);
+        s.map_page(1, &mut fa);
+    }
+}

@@ -1,0 +1,164 @@
+//! Set-associative TLB model with true-LRU replacement.
+//!
+//! Used for the core's L1 dTLB and L2-TLB, and for the dedicated accelerator
+//! TLBs in the CHA-TLB and Device-based schemes.
+
+use qei_config::{Ratio, TlbParams};
+
+/// One TLB: a timing structure tracking which virtual page numbers are
+/// resident. Translation correctness lives in [`crate::AddressSpace`]; the
+/// TLB only decides whether translation *costs* a page walk.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<Vec<u64>>, // per-set MRU-ordered vpn list (front = MRU)
+    ways: usize,
+    set_mask: u64,
+    stats: TlbStats,
+}
+
+/// Hit/miss statistics for one TLB.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TlbStats {
+    /// Lookup outcomes.
+    pub lookups: Ratio,
+    /// Number of entries evicted.
+    pub evictions: u64,
+    /// Number of whole-TLB flushes.
+    pub flushes: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries/ways geometry is degenerate or not a power of two
+    /// number of sets.
+    pub fn new(params: TlbParams) -> Self {
+        assert!(params.entries > 0 && params.ways > 0);
+        assert!(params.entries % params.ways == 0, "entries must divide by ways");
+        let n_sets = (params.entries / params.ways) as usize;
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            sets: vec![Vec::with_capacity(params.ways as usize); n_sets],
+            ways: params.ways as usize,
+            set_mask: n_sets as u64 - 1,
+            stats: TlbStats::default(),
+        }
+    }
+
+    fn set_index(&self, vpn: u64) -> usize {
+        (vpn & self.set_mask) as usize
+    }
+
+    /// Looks up `vpn`, filling on miss. Returns whether it hit.
+    pub fn access(&mut self, vpn: u64) -> bool {
+        let ways = self.ways;
+        let idx = self.set_index(vpn);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&v| v == vpn) {
+            let v = set.remove(pos);
+            set.insert(0, v);
+            self.stats.lookups.record(true);
+            true
+        } else {
+            set.insert(0, vpn);
+            if set.len() > ways {
+                set.pop();
+                self.stats.evictions += 1;
+            }
+            self.stats.lookups.record(false);
+            false
+        }
+    }
+
+    /// Probes without modifying state (no fill, no LRU update).
+    pub fn probe(&self, vpn: u64) -> bool {
+        self.sets[self.set_index(vpn)].contains(&vpn)
+    }
+
+    /// Invalidates everything (context switch / TLB shootdown).
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbParams {
+            entries: 8,
+            ways: 2,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tiny();
+        assert!(!t.access(5));
+        assert!(t.access(5));
+        assert!(t.probe(5));
+        assert_eq!(t.stats().lookups.hits, 1);
+        assert_eq!(t.stats().lookups.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut t = tiny(); // 4 sets, 2 ways; vpns 0,4,8 share set 0
+        t.access(0);
+        t.access(4);
+        t.access(0); // 0 becomes MRU, 4 is LRU
+        t.access(8); // evicts 4
+        assert!(t.probe(0));
+        assert!(!t.probe(4));
+        assert!(t.probe(8));
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut t = tiny();
+        t.access(1);
+        t.access(2);
+        t.flush();
+        assert!(!t.probe(1));
+        assert!(!t.probe(2));
+        assert_eq!(t.stats().flushes, 1);
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let t = Tlb::new(TlbParams {
+            entries: 1536,
+            ways: 12,
+            hit_latency: 7,
+        });
+        assert_eq!(t.capacity(), 1536);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = Tlb::new(TlbParams {
+            entries: 12,
+            ways: 2,
+            hit_latency: 1,
+        });
+    }
+}

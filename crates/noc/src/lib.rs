@@ -1,0 +1,292 @@
+//! 2-D mesh network-on-chip timing model.
+//!
+//! Every core tile hosts a core, an LLC slice, and its CHA; Device-based
+//! integration schemes add a dedicated accelerator tile. Messages are routed
+//! XY; each link accumulates traffic so that utilization-driven congestion
+//! (the paper's hotspot discussion, §V) inflates latency on busy routes.
+//!
+//! # Example
+//!
+//! ```
+//! use qei_noc::{Mesh, Tile};
+//! use qei_config::MachineConfig;
+//!
+//! let mut noc = Mesh::new(&MachineConfig::skylake_sp_24());
+//! let lat = noc.transfer(Tile(0), Tile(23), 64, 0);
+//! assert!(lat.as_u64() > 0);
+//! ```
+
+use qei_config::{Cycles, MachineConfig};
+use std::collections::HashMap;
+
+/// Identifier of a mesh tile. Tiles `0..cores` are core tiles; the optional
+/// device tile (for Device-based schemes) is tile `cores`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tile(pub u32);
+
+/// A directed link between two adjacent tiles, identified by the router
+/// coordinates of its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Link {
+    from: (u32, u32),
+    to: (u32, u32),
+}
+
+/// Aggregate NoC statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Total messages routed.
+    pub messages: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Total hop count across all messages.
+    pub hops: u64,
+}
+
+/// The mesh NoC timing model.
+#[derive(Debug)]
+pub struct Mesh {
+    width: u32,
+    height: u32,
+    cores: u32,
+    hop_latency: u64,
+    link_bytes_per_cycle: f64,
+    link_bytes: HashMap<Link, u64>,
+    stats: NocStats,
+}
+
+impl Mesh {
+    /// Builds the mesh from the machine configuration.
+    pub fn new(config: &MachineConfig) -> Self {
+        Mesh {
+            width: config.mesh_width,
+            height: config.mesh_height() + 1, // one extra row hosts the device tile
+            cores: config.cores,
+            hop_latency: config.noc_hop_latency,
+            link_bytes_per_cycle: config.noc_link_bytes_per_cycle,
+            link_bytes: HashMap::new(),
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The dedicated device tile (used by Device-based schemes).
+    pub fn device_tile(&self) -> Tile {
+        Tile(self.cores)
+    }
+
+    /// Coordinates of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile id is out of range.
+    pub fn coords(&self, t: Tile) -> (u32, u32) {
+        if t.0 == self.cores {
+            // Device tile sits in the extra row, centre column: a single NoC
+            // stop, as the paper describes for Device-direct.
+            (self.width / 2, self.height - 1)
+        } else {
+            assert!(t.0 < self.cores, "tile {} out of range", t.0);
+            (t.0 % self.width, t.0 / self.width)
+        }
+    }
+
+    /// Manhattan hop distance between two tiles.
+    pub fn hops(&self, a: Tile, b: Tile) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Base (uncongested) latency between two tiles.
+    pub fn base_latency(&self, a: Tile, b: Tile) -> Cycles {
+        Cycles(self.hops(a, b) as u64 * self.hop_latency)
+    }
+
+    /// Routes `bytes` from `a` to `b` at time `now_cycles`, accounting the
+    /// traffic on every XY-route link, and returns the transfer latency
+    /// including congestion inflation.
+    ///
+    /// `now_cycles` is the simulation time at which the transfer happens; it
+    /// is used to convert accumulated per-link byte counts into utilization.
+    pub fn transfer(&mut self, a: Tile, b: Tile, bytes: u64, now_cycles: u64) -> Cycles {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        let hops = self.hops(a, b) as u64;
+        self.stats.hops += hops;
+        if a == b {
+            return Cycles::ZERO;
+        }
+        let route = self.route(a, b);
+        let mut worst_util: f64 = 0.0;
+        for link in &route {
+            let c = self.link_bytes.entry(*link).or_insert(0);
+            *c += bytes;
+            if now_cycles > 0 {
+                let cap = self.link_bytes_per_cycle * now_cycles as f64;
+                worst_util = worst_util.max((*c as f64 / cap).min(0.98));
+            }
+        }
+        let base = hops * self.hop_latency;
+        // Serialization of the payload onto a link (cache line = 64 B).
+        let serialize = (bytes as f64 / self.link_bytes_per_cycle).ceil() as u64;
+        // M/M/1-flavoured queueing inflation on the most loaded link.
+        let congestion = (base as f64 * worst_util / (1.0 - worst_util)) as u64;
+        Cycles(base + serialize + congestion)
+    }
+
+    /// Current utilization of the most loaded link (0 when no time elapsed).
+    pub fn peak_link_utilization(&self, now_cycles: u64) -> f64 {
+        if now_cycles == 0 {
+            return 0.0;
+        }
+        let cap = self.link_bytes_per_cycle * now_cycles as f64;
+        self.link_bytes
+            .values()
+            .map(|&b| b as f64 / cap)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean utilization across links that carried any traffic.
+    pub fn mean_link_utilization(&self, now_cycles: u64) -> f64 {
+        if now_cycles == 0 || self.link_bytes.is_empty() {
+            return 0.0;
+        }
+        let cap = self.link_bytes_per_cycle * now_cycles as f64;
+        let sum: f64 = self.link_bytes.values().map(|&b| b as f64 / cap).sum();
+        sum / self.link_bytes.len() as f64
+    }
+
+    /// Whether traffic concentrates on a hotspot: peak link utilization is
+    /// many times the mean (the signature of the centralized Device schemes).
+    pub fn has_hotspot(&self, now_cycles: u64) -> bool {
+        let mean = self.mean_link_utilization(now_cycles);
+        mean > 0.0 && self.peak_link_utilization(now_cycles) > 4.0 * mean
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Clears traffic accounting (between experiment phases).
+    pub fn reset_traffic(&mut self) {
+        self.link_bytes.clear();
+        self.stats = NocStats::default();
+    }
+
+    fn route(&self, a: Tile, b: Tile) -> Vec<Link> {
+        let (mut x, mut y) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut links = Vec::with_capacity(self.hops(a, b) as usize);
+        while x != bx {
+            let nx = if bx > x { x + 1 } else { x - 1 };
+            links.push(Link {
+                from: (x, y),
+                to: (nx, y),
+            });
+            x = nx;
+        }
+        while y != by {
+            let ny = if by > y { y + 1 } else { y - 1 };
+            links.push(Link {
+                from: (x, y),
+                to: (x, ny),
+            });
+            y = ny;
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(&MachineConfig::skylake_sp_24())
+    }
+
+    #[test]
+    fn geometry() {
+        let m = mesh();
+        assert_eq!(m.coords(Tile(0)), (0, 0));
+        assert_eq!(m.coords(Tile(5)), (5, 0));
+        assert_eq!(m.coords(Tile(6)), (0, 1));
+        assert_eq!(m.coords(Tile(23)), (5, 3));
+        // Device tile is a single stop in the extra row.
+        assert_eq!(m.coords(m.device_tile()), (3, 4));
+    }
+
+    #[test]
+    fn hop_distance_symmetric() {
+        let m = mesh();
+        for a in 0..24 {
+            for b in 0..24 {
+                assert_eq!(m.hops(Tile(a), Tile(b)), m.hops(Tile(b), Tile(a)));
+            }
+        }
+        assert_eq!(m.hops(Tile(0), Tile(0)), 0);
+        assert_eq!(m.hops(Tile(0), Tile(23)), 5 + 3);
+    }
+
+    #[test]
+    fn transfer_latency_scales_with_distance() {
+        let mut m = mesh();
+        let near = m.transfer(Tile(0), Tile(1), 64, 0);
+        let far = m.transfer(Tile(0), Tile(23), 64, 0);
+        assert!(far > near);
+        assert_eq!(m.stats().messages, 2);
+        assert_eq!(m.stats().bytes, 128);
+    }
+
+    #[test]
+    fn same_tile_is_free() {
+        let mut m = mesh();
+        assert_eq!(m.transfer(Tile(3), Tile(3), 64, 100), Cycles::ZERO);
+    }
+
+    #[test]
+    fn congestion_inflates_latency() {
+        let mut m = mesh();
+        let quiet = m.base_latency(Tile(0), Tile(23));
+        // Hammer one route with traffic far beyond link capacity.
+        let mut last = Cycles::ZERO;
+        for _ in 0..10_000 {
+            last = m.transfer(Tile(0), Tile(23), 64, 1_000);
+        }
+        assert!(last > quiet, "congested {last} should exceed quiet {quiet}");
+        assert!(m.peak_link_utilization(1_000) > 0.5);
+    }
+
+    #[test]
+    fn centralized_traffic_creates_hotspot() {
+        let mut m = mesh();
+        let dev = m.device_tile();
+        for core in 0..24 {
+            for _ in 0..50 {
+                m.transfer(Tile(core), dev, 64, 100_000);
+            }
+        }
+        assert!(m.has_hotspot(100_000));
+
+        // Distributed all-to-all traffic does not.
+        let mut d = mesh();
+        for a in 0..24 {
+            for b in 0..24 {
+                if a != b {
+                    d.transfer(Tile(a), Tile(b), 64, 100_000);
+                }
+            }
+        }
+        assert!(!d.has_hotspot(100_000));
+    }
+
+    #[test]
+    fn reset_traffic_clears() {
+        let mut m = mesh();
+        m.transfer(Tile(0), Tile(5), 64, 10);
+        m.reset_traffic();
+        assert_eq!(m.stats().messages, 0);
+        assert_eq!(m.peak_link_utilization(100), 0.0);
+    }
+}

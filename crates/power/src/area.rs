@@ -1,0 +1,178 @@
+//! Component-level area model at 22 nm.
+//!
+//! Densities are calibrated so the three configurations the paper reports in
+//! Table III land near the published numbers (QEI-10 ≈ 0.175 mm², QEI-10+TLB
+//! ≈ 0.573 mm², QEI-240 ≈ 1.09 mm²) while remaining a transparent sum of
+//! per-component contributions rather than fitted constants.
+
+/// What silicon a component is made of — drives the leakage model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Random logic (control, ALUs, comparators).
+    Logic,
+    /// SRAM arrays (QST data, queues).
+    Sram,
+    /// CAM-heavy structures (TLBs).
+    Cam,
+}
+
+/// One hardware component of a QEI deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name for reporting.
+    pub name: &'static str,
+    /// Area in mm² at 22 nm.
+    pub area_mm2: f64,
+    /// Silicon class.
+    pub kind: ComponentKind,
+}
+
+/// A QEI hardware configuration to cost (the Table III rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QeiHwConfig {
+    /// QST entries.
+    pub qst_entries: u32,
+    /// ALUs in the DPU.
+    pub alus: u32,
+    /// Comparators in this block (per CHA for distributed schemes, the full
+    /// pool for the device configuration).
+    pub comparators: u32,
+    /// Dedicated TLB entries (0 = shares an existing TLB).
+    pub tlb_entries: u32,
+}
+
+impl QeiHwConfig {
+    /// QEI-10: the per-CHA / Core-integrated block (no dedicated TLB).
+    pub fn qei_10() -> Self {
+        QeiHwConfig {
+            qst_entries: 10,
+            alus: 5,
+            comparators: 2,
+            tlb_entries: 0,
+        }
+    }
+
+    /// QEI-10+TLB: the CHA-TLB scheme's block with its 1024-entry TLB.
+    pub fn qei_10_tlb() -> Self {
+        QeiHwConfig {
+            tlb_entries: 1024,
+            ..Self::qei_10()
+        }
+    }
+
+    /// QEI-240: the centralized Device-scheme accelerator (10 entries per
+    /// core × 24 cores, 10 comparators, no charged TLB — it reuses the
+    /// device interface's IOMMU path in the paper's cost accounting).
+    pub fn qei_240() -> Self {
+        QeiHwConfig {
+            qst_entries: 240,
+            alus: 5,
+            comparators: 10,
+            tlb_entries: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 22 nm density constants
+// ---------------------------------------------------------------------------
+
+/// CEE microcoded control machine (state store + sequencer).
+const CEE_CONTROL_MM2: f64 = 0.046;
+/// Hash unit (multiplier pipeline + seed registers).
+const HASH_UNIT_MM2: f64 = 0.028;
+/// Query/Result queue pair and core interface logic.
+const QUEUES_MM2: f64 = 0.018;
+/// One 64-bit ALU.
+const ALU_MM2: f64 = 0.0105;
+/// One 64-bit/cycle comparator.
+const COMPARATOR_MM2: f64 = 0.0022;
+/// One QST entry: ~90 bytes of storage plus the scheduler/ready logic —
+/// dominated by ports, not bits.
+const QST_ENTRY_MM2: f64 = 0.00345;
+/// One TLB entry: CAM tag + SRAM data + the comparators per entry.
+const TLB_ENTRY_MM2: f64 = 0.000388;
+
+/// Expands a configuration into its component inventory.
+pub fn qei_components(config: &QeiHwConfig) -> Vec<Component> {
+    let mut parts = vec![
+        Component {
+            name: "CEE control",
+            area_mm2: CEE_CONTROL_MM2,
+            kind: ComponentKind::Logic,
+        },
+        Component {
+            name: "hash unit",
+            area_mm2: HASH_UNIT_MM2,
+            kind: ComponentKind::Logic,
+        },
+        Component {
+            name: "queues",
+            area_mm2: QUEUES_MM2,
+            kind: ComponentKind::Sram,
+        },
+        Component {
+            name: "ALUs",
+            area_mm2: ALU_MM2 * config.alus as f64,
+            kind: ComponentKind::Logic,
+        },
+        Component {
+            name: "comparators",
+            area_mm2: COMPARATOR_MM2 * config.comparators as f64,
+            kind: ComponentKind::Logic,
+        },
+        Component {
+            name: "QST",
+            area_mm2: QST_ENTRY_MM2 * config.qst_entries as f64,
+            kind: ComponentKind::Sram,
+        },
+    ];
+    if config.tlb_entries > 0 {
+        parts.push(Component {
+            name: "TLB",
+            area_mm2: TLB_ENTRY_MM2 * config.tlb_entries as f64,
+            kind: ComponentKind::Cam,
+        });
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_area_mm2;
+
+    #[test]
+    fn inventories_have_expected_components() {
+        let no_tlb = qei_components(&QeiHwConfig::qei_10());
+        assert_eq!(no_tlb.len(), 6);
+        assert!(no_tlb.iter().all(|c| c.name != "TLB"));
+
+        let with_tlb = qei_components(&QeiHwConfig::qei_10_tlb());
+        assert_eq!(with_tlb.len(), 7);
+        assert!(with_tlb.iter().any(|c| c.name == "TLB"));
+    }
+
+    #[test]
+    fn area_scales_with_qst_entries() {
+        let a10 = total_area_mm2(&qei_components(&QeiHwConfig::qei_10()));
+        let a240 = total_area_mm2(&qei_components(&QeiHwConfig::qei_240()));
+        // 230 extra entries at the per-entry density.
+        let delta = a240 - a10;
+        let expected = 230.0 * QST_ENTRY_MM2 + 8.0 * COMPARATOR_MM2;
+        assert!((delta - expected).abs() < 1e-9, "delta {delta}");
+    }
+
+    #[test]
+    fn every_component_has_positive_area() {
+        for cfg in [
+            QeiHwConfig::qei_10(),
+            QeiHwConfig::qei_10_tlb(),
+            QeiHwConfig::qei_240(),
+        ] {
+            for c in qei_components(&cfg) {
+                assert!(c.area_mm2 > 0.0, "{} has zero area", c.name);
+            }
+        }
+    }
+}

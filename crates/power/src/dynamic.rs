@@ -1,0 +1,203 @@
+//! Dynamic energy model: per-event energies converting run statistics into
+//! per-query dynamic energy (the Fig. 12 comparison).
+//!
+//! The paper's reported >60% dynamic-power reduction comes from two places:
+//! eliminating hundreds of core micro-ops per query (each paying the OoO
+//! machinery: fetch, rename, schedule, ROB) and replacing private-cache
+//! accesses with the accelerator's lean near-data path.
+
+use qei_cache::MemStats;
+use qei_core::AccelStats;
+use qei_cpu::RunResult;
+
+/// Per-event dynamic energies in picojoules at 22 nm, 2.5 GHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One core micro-op through the OoO pipeline (fetch/decode/rename/
+    /// schedule/execute/retire overhead — the dominant per-instruction cost
+    /// on a server core).
+    pub core_uop_pj: f64,
+    /// Extra cost of a branch misprediction (flushed work + refill).
+    pub mispredict_pj: f64,
+    /// One L1D access.
+    pub l1_pj: f64,
+    /// One L2 access.
+    pub l2_pj: f64,
+    /// One LLC slice access.
+    pub llc_pj: f64,
+    /// One DRAM line fetch.
+    pub dram_pj: f64,
+    /// One QEI micro-op through the CEE (control + QST read/write).
+    pub qei_uop_pj: f64,
+    /// One comparator operation per 8 bytes compared.
+    pub compare_per_8b_pj: f64,
+    /// One hash-unit invocation.
+    pub hash_pj: f64,
+    /// One QEI ALU operation.
+    pub qei_alu_pj: f64,
+    /// One NoC hop of a 64-byte message.
+    pub noc_per_64b_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            core_uop_pj: 28.0,
+            mispredict_pj: 250.0,
+            l1_pj: 9.0,
+            l2_pj: 22.0,
+            llc_pj: 55.0,
+            dram_pj: 3_800.0,
+            qei_uop_pj: 3.0,
+            compare_per_8b_pj: 0.9,
+            hash_pj: 9.0,
+            qei_alu_pj: 0.7,
+            noc_per_64b_pj: 14.0,
+        }
+    }
+}
+
+/// Dynamic energy per query of a software-baseline run, in picojoules.
+pub fn software_energy_per_query(
+    model: &EnergyModel,
+    run: &RunResult,
+    mem: &MemStats,
+    queries: u64,
+) -> f64 {
+    if queries == 0 {
+        return 0.0;
+    }
+    let total = run.uops as f64 * model.core_uop_pj
+        + run.mispredicts as f64 * model.mispredict_pj
+        + mem.l1_accesses as f64 * model.l1_pj
+        + mem.l2_accesses as f64 * model.l2_pj
+        + mem.llc_accesses as f64 * model.llc_pj
+        + mem.dram_accesses as f64 * model.dram_pj;
+    total / queries as f64
+}
+
+/// Dynamic energy per query of a QEI run, in picojoules: the (much smaller)
+/// core-side instruction stream plus the accelerator's micro-ops and its
+/// memory traffic.
+pub fn qei_energy_per_query(
+    model: &EnergyModel,
+    run: &RunResult,
+    mem: &MemStats,
+    accel: &AccelStats,
+    noc_bytes: u64,
+    queries: u64,
+) -> f64 {
+    if queries == 0 {
+        return 0.0;
+    }
+    let core = run.uops as f64 * model.core_uop_pj + run.mispredicts as f64 * model.mispredict_pj;
+    let memory = mem.l1_accesses as f64 * model.l1_pj
+        + mem.l2_accesses as f64 * model.l2_pj
+        + mem.llc_accesses as f64 * model.llc_pj
+        + mem.dram_accesses as f64 * model.dram_pj;
+    let accel_e = (accel.mem_ops + accel.alu_ops + accel.compares + accel.hashes) as f64
+        * model.qei_uop_pj
+        + accel.compare_bytes.div_ceil(8) as f64 * model.compare_per_8b_pj
+        + accel.hashes as f64 * model.hash_pj
+        + accel.alu_ops as f64 * model.qei_alu_pj;
+    let noc = (noc_bytes as f64 / 64.0) * model.noc_per_64b_pj;
+    (core + memory + accel_e + noc) / queries as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw_run(uops: u64, mispredicts: u64) -> RunResult {
+        RunResult {
+            uops,
+            mispredicts,
+            ..RunResult::default()
+        }
+    }
+
+    #[test]
+    fn baseline_energy_scales_with_instructions() {
+        let m = EnergyModel::default();
+        let mem = MemStats {
+            l1_accesses: 1_000,
+            l2_accesses: 100,
+            llc_accesses: 50,
+            dram_accesses: 5,
+        };
+        let small = software_energy_per_query(&m, &sw_run(10_000, 100), &mem, 100);
+        let large = software_energy_per_query(&m, &sw_run(40_000, 400), &mem, 100);
+        assert!(large > 2.0 * small);
+    }
+
+    #[test]
+    fn qei_path_is_cheaper_per_query() {
+        // Representative counts: baseline 150 uops + 40 L1 + 20 L2 accesses
+        // per query; QEI 12 core uops + ~25 accelerator ops + 22 LLC
+        // accesses per query.
+        let m = EnergyModel::default();
+        let queries = 1_000u64;
+        let base_mem = MemStats {
+            l1_accesses: 40 * queries,
+            l2_accesses: 20 * queries,
+            llc_accesses: 2 * queries,
+            dram_accesses: 0,
+        };
+        let base = software_energy_per_query(
+            &m,
+            &sw_run(150 * queries, 10 * queries),
+            &base_mem,
+            queries,
+        );
+
+        let qei_mem = MemStats {
+            l1_accesses: 0,
+            l2_accesses: 0,
+            llc_accesses: 22 * queries,
+            dram_accesses: 0,
+        };
+        let accel = AccelStats {
+            queries,
+            mem_ops: 22 * queries,
+            compares: 20 * queries,
+            compare_bytes: 20 * 16 * queries,
+            hashes: queries,
+            alu_ops: 4 * queries,
+            ..AccelStats::default()
+        };
+        let qei = qei_energy_per_query(
+            &m,
+            &sw_run(12 * queries, 0),
+            &qei_mem,
+            &accel,
+            64 * 22 * queries,
+            queries,
+        );
+        let ratio = qei / base;
+        assert!(
+            ratio < 0.4,
+            "QEI per-query energy should be <40% of baseline, got {ratio:.2}"
+        );
+        assert!(ratio > 0.02, "ratio implausibly low: {ratio:.3}");
+    }
+
+    #[test]
+    fn zero_queries_safe() {
+        let m = EnergyModel::default();
+        assert_eq!(
+            software_energy_per_query(&m, &RunResult::default(), &MemStats::default(), 0),
+            0.0
+        );
+        assert_eq!(
+            qei_energy_per_query(
+                &m,
+                &RunResult::default(),
+                &MemStats::default(),
+                &AccelStats::default(),
+                0,
+                0
+            ),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Static (leakage) power from area and silicon class.
+//!
+//! At a fixed 22 nm process and nominal voltage, leakage is roughly
+//! proportional to area within a silicon class, with random logic leaking
+//! substantially more per mm² than dense SRAM (more, shorter devices per
+//! area; SRAM arrays use high-Vt cells). CAM structures sit between: SRAM
+//! density but match-line circuitry that burns more.
+
+use crate::area::{Component, ComponentKind};
+
+/// Leakage density for random logic, mW per mm² at 22 nm nominal.
+const LOGIC_MW_PER_MM2: f64 = 72.0;
+/// Leakage density for SRAM arrays.
+const SRAM_MW_PER_MM2: f64 = 15.0;
+/// Leakage density for CAM-heavy structures.
+const CAM_MW_PER_MM2: f64 = 52.0;
+
+/// Static power of a component list in milliwatts.
+pub fn static_power_mw(components: &[Component]) -> f64 {
+    components
+        .iter()
+        .map(|c| {
+            let density = match c.kind {
+                ComponentKind::Logic => LOGIC_MW_PER_MM2,
+                ComponentKind::Sram => SRAM_MW_PER_MM2,
+                ComponentKind::Cam => CAM_MW_PER_MM2,
+            };
+            c.area_mm2 * density
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::{qei_components, QeiHwConfig};
+
+    #[test]
+    fn logic_leaks_more_than_sram_per_area() {
+        let logic = Component {
+            name: "l",
+            area_mm2: 1.0,
+            kind: ComponentKind::Logic,
+        };
+        let sram = Component {
+            name: "s",
+            area_mm2: 1.0,
+            kind: ComponentKind::Sram,
+        };
+        assert!(static_power_mw(&[logic]) > 3.0 * static_power_mw(&[sram]));
+    }
+
+    #[test]
+    fn table_iii_static_power_bands() {
+        // Paper: 10.90 mW / 30.90 mW / 20.88 mW for the three rows.
+        let p10 = static_power_mw(&qei_components(&QeiHwConfig::qei_10()));
+        let p_tlb = static_power_mw(&qei_components(&QeiHwConfig::qei_10_tlb()));
+        let p240 = static_power_mw(&qei_components(&QeiHwConfig::qei_240()));
+        assert!((7.0..=16.0).contains(&p10), "QEI-10 {p10:.2} mW");
+        assert!((22.0..=40.0).contains(&p_tlb), "QEI-10+TLB {p_tlb:.2} mW");
+        assert!((14.0..=30.0).contains(&p240), "QEI-240 {p240:.2} mW");
+        // Orderings the paper shows: TLB adds the most static power; the big
+        // device block leaks more than QEI-10 but less than the TLB config.
+        assert!(p_tlb > p240 && p240 > p10);
+    }
+
+    #[test]
+    fn empty_list_has_no_power() {
+        assert_eq!(static_power_mw(&[]), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! CACTI/McPAT-style analytic area and power model at 22 nm.
+//!
+//! The paper evaluates QEI's hardware cost with McPAT and CACTI "in an
+//! incremental way": configure the baseline CPU, add QEI's components, and
+//! report the difference (Table III for area and static power, Fig. 12 for
+//! per-query dynamic power). This crate substitutes a transparent analytic
+//! model with per-component area/leakage densities calibrated to public
+//! 22 nm data, applied the same incremental way:
+//!
+//! * [`area`] — component inventory for a QEI configuration (QST entries,
+//!   ALUs, comparators, hash unit, CEE control, queues, optional TLB);
+//! * [`leakage`] — static power from area and component class (logic leaks
+//!   more per mm² than SRAM at iso-process);
+//! * [`dynamic`] — per-event energies converting run statistics (core
+//!   micro-ops, cache accesses, accelerator micro-ops) into per-query
+//!   dynamic energy for the Fig. 12 comparison.
+
+pub mod area;
+pub mod dynamic;
+pub mod leakage;
+
+pub use area::{qei_components, Component, ComponentKind, QeiHwConfig};
+pub use dynamic::{qei_energy_per_query, software_energy_per_query, EnergyModel};
+pub use leakage::static_power_mw;
+
+/// Total area of a component list in mm².
+pub fn total_area_mm2(components: &[Component]) -> f64 {
+    components.iter().map(|c| c.area_mm2).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qei_10_matches_table_iii_band() {
+        // Paper Table III: QEI-10 = 0.1752 mm², 10.90 mW.
+        let c = qei_components(&QeiHwConfig::qei_10());
+        let area = total_area_mm2(&c);
+        assert!(
+            (0.12..=0.25).contains(&area),
+            "QEI-10 area {area:.4} mm² out of band"
+        );
+        let power = static_power_mw(&c);
+        assert!(
+            (7.0..=16.0).contains(&power),
+            "QEI-10 static power {power:.2} mW out of band"
+        );
+    }
+
+    #[test]
+    fn tlb_dominates_qei_10_plus_tlb() {
+        // Paper: adding a 1024-entry TLB takes 0.1752 → 0.5730 mm².
+        let no_tlb = total_area_mm2(&qei_components(&QeiHwConfig::qei_10()));
+        let with_tlb = total_area_mm2(&qei_components(&QeiHwConfig::qei_10_tlb()));
+        assert!(with_tlb > 2.5 * no_tlb, "{with_tlb:.3} vs {no_tlb:.3}");
+        assert!((0.4..=0.75).contains(&with_tlb), "area {with_tlb:.3}");
+    }
+
+    #[test]
+    fn qei_240_is_sram_heavy() {
+        // Paper: QEI-240 = 1.0901 mm² but only 20.88 mW — less static power
+        // per area than QEI-10+TLB because the QST SRAM leaks less than CAM
+        // and random logic.
+        let c240 = qei_components(&QeiHwConfig::qei_240());
+        let area = total_area_mm2(&c240);
+        assert!((0.8..=1.4).contains(&area), "QEI-240 area {area:.3}");
+        let p240 = static_power_mw(&c240);
+        let p_tlb = static_power_mw(&qei_components(&QeiHwConfig::qei_10_tlb()));
+        let a_tlb = total_area_mm2(&qei_components(&QeiHwConfig::qei_10_tlb()));
+        assert!(
+            p240 / area < p_tlb / a_tlb,
+            "QEI-240 must have lower power density"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Diagnostic: per-scheme cycle/latency/occupancy breakdown on the JVM
+//! workload. Used when calibrating the timing model.
+
+use qei_config::{MachineConfig, Scheme};
+use qei_sim::System;
+use qei_workloads::jvm::JvmGc;
+use qei_workloads::Workload;
+
+fn main() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 7);
+    let w = JvmGc::build(sys.guest_mut(), 20_000, 300, 2);
+    let base = sys.run_baseline(&w);
+    println!(
+        "baseline: cycles={} cyc/q={:.0} uops/q={:.0} ipc={:.2} fe={:.2} be={:.2} mean_load={:.1}",
+        base.cycles,
+        base.cycles_per_query(),
+        base.uops_per_query(),
+        base.run.ipc(),
+        base.run.frontend_bound(),
+        base.run.backend_bound(),
+        base.run.mean_load_latency()
+    );
+    for scheme in Scheme::ALL {
+        let q = sys.run_qei(&w, scheme, None);
+        let a = q.accel.unwrap();
+        println!(
+            "{:16} cycles={} cyc/q={:.0} speedup={:.2} occ={:.2} accel_lat={:.0} memops/q={:.1} tlbmiss={} waits={}",
+            scheme.label(),
+            q.cycles,
+            q.cycles_per_query(),
+            base.cycles as f64 / q.cycles as f64,
+            q.qst_occupancy,
+            a.mean_latency(),
+            a.mem_ops as f64 / a.queries as f64,
+            a.tlb_misses,
+            0
+        );
+    }
+    let _ = w.jobs();
+}

@@ -1,0 +1,37 @@
+//! Diagnostic: RocksDB-specific breakdown (the core-bound workload).
+
+use qei_config::{MachineConfig, Scheme};
+use qei_sim::System;
+use qei_workloads::rocksdb::RocksDbMem;
+use qei_workloads::Workload;
+
+fn main() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xD3);
+    let w = RocksDbMem::build(sys.guest_mut(), 10_000, 400, 3);
+    let base = sys.run_baseline(&w);
+    println!(
+        "baseline: cyc/q={:.0} uops/q={:.0} ipc={:.2} fe={:.2} be={:.2} load_lat={:.1} loads/q={:.1}",
+        base.cycles_per_query(),
+        base.uops_per_query(),
+        base.run.ipc(),
+        base.run.frontend_bound(),
+        base.run.backend_bound(),
+        base.run.mean_load_latency(),
+        base.run.loads as f64 / base.queries as f64,
+    );
+    for scheme in [Scheme::CoreIntegrated, Scheme::ChaTlb] {
+        let q = sys.run_qei(&w, scheme, None);
+        let a = q.accel.unwrap();
+        println!(
+            "{:16} cyc/q={:.0} speedup={:.2} occ={:.2} accel_lat={:.0} memops/q={:.1} cmp/q={:.1} tlbmiss/q={:.2}",
+            scheme.label(),
+            q.cycles_per_query(),
+            base.cycles as f64 / q.cycles as f64,
+            q.qst_occupancy,
+            a.mean_latency(),
+            a.mem_ops as f64 / a.queries as f64,
+            a.compares as f64 / a.queries as f64,
+            a.tlb_misses as f64 / a.queries as f64,
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Top-level co-simulation driver.
+//!
+//! [`System`] glues the substrate together: it owns the guest memory a
+//! workload was built into, constructs a fresh machine (core model + cache
+//! hierarchy + NoC + optional QEI accelerator) per run, and prices a
+//! workload three ways:
+//!
+//! * [`System::run_baseline`] — the unmodified software routines;
+//! * [`System::run_qei`] — the ROI rewritten with blocking `QUERY_B`
+//!   instructions under a chosen integration scheme;
+//! * [`System::run_qei_nonblocking`] — the `QUERY_NB` + `SNAPSHOT_READ`
+//!   polling pattern (batched, the Fig. 10 configuration).
+//!
+//! Every run performs a warm-up pass (same trace, same machine state) before
+//! the measured pass, modelling the steady state the paper measures, and
+//! verifies functional results against the workload's ground truth.
+
+pub mod bus;
+pub mod report;
+
+pub use bus::QeiBus;
+pub use report::RunReport;
+
+use qei_cache::MemoryHierarchy;
+use qei_config::{Cycles, MachineConfig, Scheme};
+use qei_core::QeiAccelerator;
+use qei_cpu::{CoreModel, MemBus, Trace};
+use qei_mem::GuestMem;
+use qei_workloads::Workload;
+
+/// Batch size for the non-blocking polling pattern (the paper polls every
+/// 32 keys).
+pub const NB_BATCH: usize = 32;
+
+/// The simulated system owning a guest and its workload data.
+#[derive(Debug)]
+pub struct System {
+    config: MachineConfig,
+    guest: GuestMem,
+    /// Core the single-threaded benchmarks run on.
+    core_id: u32,
+}
+
+impl System {
+    /// Creates a system with a deterministic guest layout.
+    pub fn new(config: MachineConfig, seed: u64) -> Self {
+        assert!(config.validate().is_empty(), "invalid machine config");
+        System {
+            config,
+            guest: GuestMem::new(seed),
+            core_id: 0,
+        }
+    }
+
+    /// The guest memory, for building workloads into.
+    pub fn guest_mut(&mut self) -> &mut GuestMem {
+        &mut self.guest
+    }
+
+    /// Immutable guest access.
+    pub fn guest(&self) -> &GuestMem {
+        &self.guest
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the machine configuration — for ablation sweeps
+    /// that vary accelerator sizing between runs over the same guest data.
+    pub fn config_mut(&mut self) -> &mut MachineConfig {
+        &mut self.config
+    }
+
+    /// Runs the software baseline for `workload` and returns the measured
+    /// (post-warm-up) report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline's functional results disagree with the
+    /// workload's ground truth — that is a bug, not a measurement.
+    pub fn run_baseline(&mut self, workload: &dyn Workload) -> RunReport {
+        let mut trace = Trace::new();
+        let results = workload.baseline_trace(&self.guest, &mut trace);
+        assert_eq!(
+            results,
+            workload.expected(),
+            "baseline functional mismatch in {}",
+            workload.name()
+        );
+
+        let mut bus = MemBus::new(MemoryHierarchy::new(&self.config), self.guest.space());
+        let mut core = CoreModel::new(&self.config, self.core_id);
+        // Warm-up pass: caches, TLBs, branch predictor reach steady state.
+        let _ = core.run(&trace, &mut bus);
+        bus.mem.reset_epoch();
+        let run = core.run(&trace, &mut bus);
+
+        RunReport::from_software(workload, run, bus.mem.stats())
+    }
+
+    /// Runs `workload` with its ROI rewritten as blocking `QUERY_B`
+    /// instructions under `scheme`. `device_latency` optionally overrides the
+    /// Device-indirect per-access interface latency (the Fig. 8 sweep).
+    pub fn run_qei(
+        &mut self,
+        workload: &dyn Workload,
+        scheme: Scheme,
+        device_latency: Option<u64>,
+    ) -> RunReport {
+        let trace = build_qei_trace_blocking(workload);
+        self.run_qei_trace(workload, scheme, device_latency, trace, false)
+    }
+
+    /// Runs `workload` with non-blocking `QUERY_NB` instructions in batches
+    /// of [`NB_BATCH`] jobs, polling results with `SNAPSHOT_READ`-style
+    /// loads.
+    pub fn run_qei_nonblocking(
+        &mut self,
+        workload: &dyn Workload,
+        scheme: Scheme,
+        device_latency: Option<u64>,
+    ) -> RunReport {
+        self.run_qei_nonblocking_batched(workload, scheme, device_latency, NB_BATCH)
+    }
+
+    /// Non-blocking run with an explicit batch size — the paper's tuple-space
+    /// experiment polls every 32 *keys*, i.e. `32 × tuple_count` jobs.
+    pub fn run_qei_nonblocking_batched(
+        &mut self,
+        workload: &dyn Workload,
+        scheme: Scheme,
+        device_latency: Option<u64>,
+        batch: usize,
+    ) -> RunReport {
+        let trace = build_qei_trace_nonblocking(workload, batch);
+        self.run_qei_trace(workload, scheme, device_latency, trace, true)
+    }
+
+    /// Blocking run with the near-data comparison path disabled (ablation).
+    pub fn run_qei_local_compare(&mut self, workload: &dyn Workload, scheme: Scheme) -> RunReport {
+        let trace = build_qei_trace_blocking(workload);
+        self.run_qei_trace_opts(workload, scheme, None, trace, false, true)
+    }
+
+    fn run_qei_trace(
+        &mut self,
+        workload: &dyn Workload,
+        scheme: Scheme,
+        device_latency: Option<u64>,
+        trace: Trace,
+        nonblocking: bool,
+    ) -> RunReport {
+        self.run_qei_trace_opts(workload, scheme, device_latency, trace, nonblocking, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_qei_trace_opts(
+        &mut self,
+        workload: &dyn Workload,
+        scheme: Scheme,
+        device_latency: Option<u64>,
+        trace: Trace,
+        nonblocking: bool,
+        force_local_compare: bool,
+    ) -> RunReport {
+        // Result buffer for non-blocking queries: one u64 per job.
+        let n_jobs = workload.jobs().len();
+        let result_buf = self
+            .guest
+            .alloc((n_jobs.max(1) * 8) as u64, 64)
+            .expect("guest alloc for NB results");
+
+        let mut core = CoreModel::new(&self.config, self.core_id);
+        // Warm-up pass then measured pass over the *same* bus, so caches,
+        // accelerator TLBs, and the predictor are in steady state.
+        let mut accel = QeiAccelerator::new(&self.config, scheme, self.core_id);
+        if let Some(lat) = device_latency {
+            accel.set_device_data_latency(lat);
+        }
+        accel.set_force_local_compare(force_local_compare);
+        let mut bus = QeiBus::new(
+            MemoryHierarchy::new(&self.config),
+            accel,
+            &mut self.guest,
+            workload.jobs().to_vec(),
+            result_buf,
+        );
+        let _ = core.run(&trace, &mut bus);
+        bus.begin_epoch();
+        let run = core.run(&trace, &mut bus);
+
+        let correct = bus.verify(workload.expected(), nonblocking);
+        assert!(
+            correct,
+            "QEI functional mismatch in {} under {}",
+            workload.name(),
+            scheme
+        );
+        let occupancy = bus.accel().qst_occupancy(Cycles(run.cycles.max(1)));
+        let report = RunReport::from_qei(
+            workload,
+            run,
+            bus.mem_hierarchy().stats(),
+            bus.accel().stats(),
+            occupancy,
+            bus.mem_hierarchy().noc().stats().bytes,
+        );
+        report
+    }
+}
+
+/// Builds the blocking-QEI trace: per query, the surrounding application
+/// work plus register setup and one `QUERY_B`.
+///
+/// Software is responsible for tracking QST availability (paper §IV-A:
+/// overflowing the accelerator blocks the machine), so the program issues
+/// blocking queries in windows of the QST depth: query `i` consumes the
+/// completion of query `i − QST_ENTRIES` before issuing. This applies to
+/// every scheme — portable software cannot know how many accelerator
+/// instances the NUCA hash will spread its queries over.
+pub fn build_qei_trace_blocking(workload: &dyn Workload) -> Trace {
+    let window = qei_config::MachineConfig::default().qei.qst_entries as usize;
+    let mut trace = Trace::new();
+    let mut prev_query = None;
+    let mut ring: Vec<u32> = Vec::new();
+    for (i, _) in workload.jobs().iter().enumerate() {
+        workload.emit_qei_surrounding(&mut trace, i, prev_query);
+        // Software slot tracking: consume the (i - window)'th completion.
+        let tracking_dep = if i >= window {
+            Some(ring[i % window])
+        } else {
+            None
+        };
+        // Stage header/key pointers into registers.
+        let setup = trace.alu(1, tracking_dep, None);
+        let q = trace.query_b(i as u32, Some(setup));
+        prev_query = Some(q);
+        if ring.len() < window {
+            ring.push(q);
+        } else {
+            ring[i % window] = q;
+        }
+    }
+    trace
+}
+
+/// Builds the non-blocking trace: batches of `QUERY_NB` followed by a
+/// polling loop reading the result lines.
+pub fn build_qei_trace_nonblocking(workload: &dyn Workload, batch_size: usize) -> Trace {
+    let mut trace = Trace::new();
+    let jobs = workload.jobs();
+    let batch_size = batch_size.max(1);
+    for (b, batch) in jobs.chunks(batch_size).enumerate() {
+        for (j, _) in batch.iter().enumerate() {
+            let i = b * batch_size + j;
+            workload.emit_qei_surrounding(&mut trace, i, None);
+            let setup = trace.alu1(None);
+            trace.query_nb(i as u32, Some(setup));
+        }
+        // SNAPSHOT_READ polling: a wide load per 8 results plus the check
+        // branch. Token u32::MAX signals the bus to return the drain time —
+        // the poll that finally observes completion.
+        let lines = batch.len().div_ceil(8);
+        for _ in 0..lines.saturating_sub(1) {
+            let probe = trace.alu1(None);
+            trace.branch(0x300, true, Some(probe));
+        }
+        let wait = trace.push(qei_cpu::Uop::External {
+            token: u32::MAX,
+            blocking: true,
+            dep: None,
+        });
+        trace.branch(0x300, false, Some(wait));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qei_workloads::dpdk::DpdkFib;
+    use qei_workloads::jvm::JvmGc;
+
+    fn small_system() -> System {
+        System::new(MachineConfig::skylake_sp_24(), 7)
+    }
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let mut sys = small_system();
+        let w = DpdkFib::build(sys.guest_mut(), 512, 100, 1);
+        let r = sys.run_baseline(&w);
+        assert!(r.cycles > 0);
+        assert!(r.uops > 1_000);
+        assert_eq!(r.queries, 100);
+        assert!(r.correct);
+        assert!(r.cycles_per_query() > 10.0);
+    }
+
+    #[test]
+    fn qei_blocking_beats_baseline_on_dense_queries() {
+        let mut sys = small_system();
+        let w = JvmGc::build(sys.guest_mut(), 20_000, 300, 2);
+        let base = sys.run_baseline(&w);
+        let qei = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+        assert!(qei.correct);
+        let speedup = base.cycles as f64 / qei.cycles as f64;
+        assert!(
+            speedup > 2.0,
+            "expected a clear win, got {speedup:.2}x ({} vs {})",
+            base.cycles,
+            qei.cycles
+        );
+    }
+
+    #[test]
+    fn scheme_ordering_holds() {
+        let mut sys = small_system();
+        let w = DpdkFib::build(sys.guest_mut(), 2_000, 200, 3);
+        let cha = sys.run_qei(&w, Scheme::ChaTlb, None).cycles;
+        let core_int = sys.run_qei(&w, Scheme::CoreIntegrated, None).cycles;
+        let dev_ind = sys.run_qei(&w, Scheme::DeviceIndirect, None).cycles;
+        // CHA-TLB fastest; Device-indirect slowest (paper Fig. 7 shape).
+        assert!(cha <= core_int * 2, "cha {cha} vs core {core_int}");
+        assert!(
+            dev_ind > core_int,
+            "device-indirect {dev_ind} must trail core-integrated {core_int}"
+        );
+    }
+
+    #[test]
+    fn nonblocking_runs_and_verifies() {
+        let mut sys = small_system();
+        let w = DpdkFib::build(sys.guest_mut(), 1_000, 128, 4);
+        let r = sys.run_qei_nonblocking(&w, Scheme::CoreIntegrated, None);
+        assert!(r.correct);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn device_latency_override_slows_device_scheme() {
+        let mut sys = small_system();
+        let w = DpdkFib::build(sys.guest_mut(), 1_000, 100, 5);
+        let fast = sys.run_qei(&w, Scheme::DeviceIndirect, Some(50)).cycles;
+        let slow = sys.run_qei(&w, Scheme::DeviceIndirect, Some(2000)).cycles;
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+}

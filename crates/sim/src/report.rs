@@ -1,0 +1,146 @@
+//! Run reports: the measured quantities every experiment consumes.
+
+use qei_cache::MemStats;
+use qei_core::AccelStats;
+use qei_cpu::RunResult;
+use qei_workloads::Workload;
+
+/// The outcome of one priced run (baseline or QEI).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// End-to-end ROI cycles.
+    pub cycles: u64,
+    /// Micro-ops the *core* executed.
+    pub uops: u64,
+    /// Queries in the stream.
+    pub queries: u64,
+    /// Core-model detail (stalls, mispredicts, TLB misses…).
+    pub run: RunResult,
+    /// Memory-hierarchy access counts.
+    pub mem: MemStats,
+    /// Accelerator statistics (QEI runs only).
+    pub accel: Option<AccelStats>,
+    /// Mean QST occupancy over the run (QEI runs only).
+    pub qst_occupancy: f64,
+    /// Total bytes moved on the NoC.
+    pub noc_bytes: u64,
+    /// Whether functional results matched the ground truth.
+    pub correct: bool,
+    /// Non-query application work accompanying each query (for end-to-end
+    /// extrapolation).
+    pub non_roi_work_per_query: u32,
+}
+
+impl RunReport {
+    /// Builds a report for a software-baseline run.
+    pub fn from_software(workload: &dyn Workload, run: RunResult, mem: MemStats) -> Self {
+        RunReport {
+            workload: workload.name(),
+            cycles: run.cycles,
+            uops: run.uops,
+            queries: workload.jobs().len() as u64,
+            run,
+            mem,
+            accel: None,
+            qst_occupancy: 0.0,
+            noc_bytes: 0,
+            correct: true,
+            non_roi_work_per_query: workload.non_roi_work_per_query(),
+        }
+    }
+
+    /// Builds a report for a QEI run.
+    pub fn from_qei(
+        workload: &dyn Workload,
+        run: RunResult,
+        mem: MemStats,
+        accel: AccelStats,
+        qst_occupancy: f64,
+        noc_bytes: u64,
+    ) -> Self {
+        RunReport {
+            workload: workload.name(),
+            cycles: run.cycles,
+            uops: run.uops,
+            queries: workload.jobs().len() as u64,
+            run,
+            mem,
+            accel: Some(accel),
+            qst_occupancy,
+            noc_bytes,
+            correct: true,
+            non_roi_work_per_query: workload.non_roi_work_per_query(),
+        }
+    }
+
+    /// Mean cycles per query.
+    pub fn cycles_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.queries as f64
+        }
+    }
+
+    /// Core micro-ops per query (the Fig. 11 metric).
+    pub fn uops_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.uops as f64 / self.queries as f64
+        }
+    }
+
+    /// End-to-end cycles including the non-ROI application work, assuming
+    /// that work runs near the dispatch-width IPC (it is cache-resident,
+    /// predictable code).
+    pub fn end_to_end_cycles(&self, dispatch_width: u32) -> f64 {
+        let non_roi =
+            self.queries as f64 * self.non_roi_work_per_query as f64 / dispatch_width as f64;
+        self.cycles as f64 + non_roi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, uops: u64, queries: u64) -> RunReport {
+        RunReport {
+            workload: "test",
+            cycles,
+            uops,
+            queries,
+            run: RunResult::default(),
+            mem: MemStats::default(),
+            accel: None,
+            qst_occupancy: 0.0,
+            noc_bytes: 0,
+            correct: true,
+            non_roi_work_per_query: 100,
+        }
+    }
+
+    #[test]
+    fn per_query_math() {
+        let r = report(10_000, 4_000, 100);
+        assert!((r.cycles_per_query() - 100.0).abs() < 1e-12);
+        assert!((r.uops_per_query() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_queries_is_safe() {
+        let r = report(10, 10, 0);
+        assert_eq!(r.cycles_per_query(), 0.0);
+        assert_eq!(r.uops_per_query(), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_adds_non_roi_work() {
+        let r = report(10_000, 4_000, 100);
+        // 100 queries × 100 non-ROI uops / 4-wide = 2_500 extra cycles.
+        assert!((r.end_to_end_cycles(4) - 12_500.0).abs() < 1e-9);
+    }
+}

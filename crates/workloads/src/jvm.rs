@@ -1,0 +1,158 @@
+//! JVM workload: the garbage collector's live-object tree.
+//!
+//! The paper extracts OpenJDK's serial mark-and-sweep collector and feeds it
+//! an object tree dumped from Derby under SPECjvm2008. We substitute a
+//! synthetic object tree of the same shape — a BST over object identifiers
+//! built in randomized order (expected depth ≈ 2·ln n, matching the paper's
+//! ~40 memory accesses per query at the evaluated scale) — and a dense
+//! stream of object lookups, as the mark phase chases references.
+
+use crate::{query_indices, QueryJob, Workload};
+use qei_cpu::Trace;
+use qei_datastructs::{stage_key, Bst, QueryDs};
+use qei_mem::GuestMem;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// Object ids are sparse (multiplied out) so misses are exercised.
+fn object_id(i: u64) -> u64 {
+    1 + i * 3
+}
+
+/// The GC mark-phase benchmark.
+#[derive(Debug)]
+pub struct JvmGc {
+    tree: Bst,
+    jobs: Vec<QueryJob>,
+    expected: Vec<u64>,
+}
+
+impl JvmGc {
+    /// Builds an object tree of `objects` nodes and a stream of `queries`
+    /// reference lookups (high hit rate: the mark phase mostly chases live
+    /// references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if guest allocation fails.
+    pub fn build(mem: &mut GuestMem, objects: u64, queries: usize, seed: u64) -> Self {
+        let mut tree = Bst::new(mem).expect("guest alloc");
+        let mut ids: Vec<u64> = (0..objects).map(object_id).collect();
+        ids.shuffle(&mut StdRng::seed_from_u64(seed));
+        for &id in &ids {
+            tree.insert(mem, id, id + 0x10_0000).expect("guest alloc");
+        }
+        let mut jobs = Vec::with_capacity(queries);
+        let mut expected = Vec::with_capacity(queries);
+        for (qi, pick) in query_indices(seed ^ 0x11, queries, objects, 0.97)
+            .into_iter()
+            .enumerate()
+        {
+            let id = match pick {
+                Some(i) => object_id(i),
+                None => object_id(objects + qi as u64) + 1, // guaranteed absent
+            };
+            let ka = stage_key(mem, &id.to_be_bytes());
+            jobs.push(QueryJob {
+                header_addr: tree.header_addr(),
+                key_addr: ka,
+            });
+            expected.push(tree.query_u64(mem, id));
+        }
+        JvmGc {
+            tree,
+            jobs,
+            expected,
+        }
+    }
+
+    /// The underlying object tree.
+    pub fn tree(&self) -> &Bst {
+        &self.tree
+    }
+}
+
+impl Workload for JvmGc {
+    fn name(&self) -> &'static str {
+        "JVM"
+    }
+
+    fn jobs(&self) -> &[QueryJob] {
+        &self.jobs
+    }
+
+    fn expected(&self) -> &[u64] {
+        &self.expected
+    }
+
+    fn baseline_trace(&self, mem: &GuestMem, trace: &mut Trace) -> Vec<u64> {
+        let mut results = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            // Mark-phase bookkeeping around each reference lookup is tiny —
+            // the paper's "high query density" workload.
+            trace.alu_block(self.other_work_per_query());
+            results.push(self.tree.query_traced(mem, job.key_addr, trace));
+        }
+        results
+    }
+
+    fn other_work_per_query(&self) -> u32 {
+        // Mark-bit set, card-table check, worklist push.
+        16
+    }
+
+    fn non_roi_work_per_query(&self) -> u32 {
+        // Sweep phase and allocator work amortized per marked object
+        // (calibrated to the paper's Fig. 1 query-time band).
+        5_000
+    }
+
+    fn key_len(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qei_core::{run_query, FirmwareStore};
+
+    #[test]
+    fn builds_and_baseline_matches() {
+        let mut mem = GuestMem::new(210);
+        let w = JvmGc::build(&mut mem, 2_000, 100, 7);
+        assert_eq!(w.tree().len(), 2_000);
+        let mut t = Trace::new();
+        let results = w.baseline_trace(&mem, &mut t);
+        assert_eq!(&results, w.expected());
+        let hits = w.expected().iter().filter(|&&v| v != 0).count();
+        assert!(hits > 90);
+    }
+
+    #[test]
+    fn firmware_agrees() {
+        let mut mem = GuestMem::new(211);
+        let w = JvmGc::build(&mut mem, 1_000, 30, 8);
+        let fw = FirmwareStore::with_builtins();
+        for (job, &exp) in w.jobs().iter().zip(w.expected()) {
+            assert_eq!(
+                run_query(&fw, &mem, job.header_addr, job.key_addr).unwrap(),
+                exp
+            );
+        }
+    }
+
+    #[test]
+    fn tree_depth_drives_many_accesses_per_query() {
+        let mut mem = GuestMem::new(212);
+        let w = JvmGc::build(&mut mem, 50_000, 20, 9);
+        let mut t = Trace::new();
+        w.baseline_trace(&mem, &mut t);
+        // Depth ~ 2 ln(50k) ≈ 21; ≥ 1 load per node plus key/overhead.
+        let loads_per_query = t.stats().loads as f64 / 20.0;
+        assert!(
+            loads_per_query > 15.0,
+            "loads/query {loads_per_query} too shallow"
+        );
+    }
+}

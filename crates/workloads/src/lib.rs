@@ -1,0 +1,126 @@
+//! The five cloud-workload benchmarks the paper evaluates (§VI-B), rebuilt
+//! over the guest data structures:
+//!
+//! * [`dpdk`] — an L3 forwarding table on the DPDK-style cuckoo hash
+//!   (16-byte keys ≈ a TCP/IP 5-tuple), plus tuple-space search over several
+//!   tables for the non-blocking evaluation (Fig. 10);
+//! * [`jvm`] — the garbage collector's live-object tree (BST of object ids),
+//!   queried densely as the mark phase does;
+//! * [`rocksdb`] — memtable point lookups on a skip list (100-byte keys),
+//!   with the large per-request "seek loop" software overhead the paper
+//!   calls out (key preprocessing, memcpy, thread management);
+//! * [`snort`] — Aho–Corasick literal matching of packet payloads against a
+//!   keyword dictionary;
+//! * [`flann`] — Locality-Sensitive-Hashing similarity search probing a bank
+//!   of hash tables (12 tables, 20-byte keys).
+//!
+//! Every workload yields a [`Workload`]: the query stream (header/key
+//! address pairs), the ground-truth results, the software-baseline trace,
+//! and the amount of non-query application work surrounding each query —
+//! the knob that reproduces the paper's observation that RocksDB's speedup
+//! is core-bound while JVM's is accelerator-bound.
+//!
+//! Scale note: dataset sizes default to LLC-resident scales (bigger than the
+//! 1 MB L2, well under the 33 MB LLC) so runs finish quickly; constructors
+//! take explicit sizes for full-scale runs. EXPERIMENTS.md records the
+//! parameters used for each reproduced figure.
+
+pub mod dpdk;
+pub mod flann;
+pub mod jvm;
+pub mod rocksdb;
+pub mod snort;
+
+use qei_cpu::Trace;
+use qei_mem::{GuestMem, VirtAddr};
+
+/// One query of the stream: the operands of a `QUERY` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryJob {
+    /// Address of the structure's 64-byte header.
+    pub header_addr: VirtAddr,
+    /// Address of the staged query key.
+    pub key_addr: VirtAddr,
+}
+
+/// A benchmark: a built data set plus a query stream and its baseline.
+pub trait Workload {
+    /// Workload name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// The query stream, in issue order.
+    fn jobs(&self) -> &[QueryJob];
+
+    /// Ground-truth result per job (0 = not found).
+    fn expected(&self) -> &[u64];
+
+    /// Emits the software-baseline ROI trace (all queries, with surrounding
+    /// application work) and returns the functional results.
+    fn baseline_trace(&self, mem: &GuestMem, trace: &mut Trace) -> Vec<u64>;
+
+    /// Non-query application micro-ops surrounding each query (packet
+    /// handling, key preprocessing…). Present in both the baseline and the
+    /// QEI traces — QEI only removes the query itself.
+    fn other_work_per_query(&self) -> u32;
+
+    /// Emits the application work surrounding one query in the QEI-rewritten
+    /// ROI. The default is `other_work_per_query` ALU operations;
+    /// workloads that touch memory around each query (e.g. RocksDB's value
+    /// copy) override this. `prev_query` is the trace index of the previous
+    /// `QUERY` micro-op, for work that consumes the previous result.
+    fn emit_qei_surrounding(&self, trace: &mut Trace, job_index: usize, prev_query: Option<u32>) {
+        let _ = (job_index, prev_query);
+        trace.alu_block(self.other_work_per_query());
+    }
+
+    /// Application micro-ops *outside* the ROI per query — the rest of the
+    /// program, used for the end-to-end improvement figure (Fig. 9).
+    fn non_roi_work_per_query(&self) -> u32;
+
+    /// Key length in bytes.
+    fn key_len(&self) -> usize;
+}
+
+/// Shared helper: deterministically pick query indices with a given hit
+/// rate. Indices `< population` query existing items; others are misses.
+pub(crate) fn query_indices(
+    seed: u64,
+    queries: usize,
+    population: u64,
+    hit_rate: f64,
+) -> Vec<Option<u64>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..queries)
+        .map(|_| {
+            if rng.gen_bool(hit_rate) {
+                Some(rng.gen_range(0..population))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_indices_respect_hit_rate() {
+        let idx = query_indices(1, 10_000, 100, 0.9);
+        let hits = idx.iter().filter(|i| i.is_some()).count();
+        assert!((8_500..=9_500).contains(&hits), "hits {hits}");
+        assert!(idx
+            .iter()
+            .flatten()
+            .all(|&i| i < 100));
+    }
+
+    #[test]
+    fn query_indices_deterministic() {
+        assert_eq!(query_indices(7, 100, 50, 0.5), query_indices(7, 100, 50, 0.5));
+        assert_ne!(query_indices(7, 100, 50, 0.5), query_indices(8, 100, 50, 0.5));
+    }
+}

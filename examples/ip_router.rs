@@ -1,0 +1,74 @@
+//! IP routing with longest-prefix match — the paper introduction's
+//! "a network packet can query on a routing table to determine the output
+//! port in a virtual switch" scenario, running on the LPM trie CFA
+//! (trie subtype 1).
+//!
+//! ```text
+//! cargo run --example ip_router
+//! ```
+
+use qei::prelude::*;
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> [u8; 4] {
+    [a, b, c, d]
+}
+
+fn fmt_ip(addr: &[u8; 4]) -> String {
+    format!("{}.{}.{}.{}", addr[0], addr[1], addr[2], addr[3])
+}
+
+fn main() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 77);
+
+    // A small FIB: byte-granular prefixes (/8, /16, /24, /32) to ports.
+    let routes: Vec<(Vec<u8>, u64)> = vec![
+        (vec![10], 1),              // 10.0.0.0/8        -> port 1
+        (vec![10, 42], 2),          // 10.42.0.0/16      -> port 2
+        (vec![10, 42, 7], 3),       // 10.42.7.0/24      -> port 3
+        (vec![10, 42, 7, 99], 4),   // 10.42.7.99/32     -> port 4
+        (vec![172, 16], 5),         // 172.16.0.0/16     -> port 5
+        (vec![192, 168, 1], 6),     // 192.168.1.0/24    -> port 6
+    ];
+    let fib = LpmTrie::build(sys.guest_mut(), &routes).expect("guest alloc");
+    println!("FIB installed: {} routes, header at {}", fib.routes(), fib.header_addr());
+
+    let fw = FirmwareStore::with_builtins();
+    let packets = [
+        ip(10, 1, 1, 1),
+        ip(10, 42, 0, 1),
+        ip(10, 42, 7, 1),
+        ip(10, 42, 7, 99),
+        ip(172, 16, 33, 44),
+        ip(192, 168, 1, 200),
+        ip(8, 8, 8, 8),
+    ];
+    println!("\n{:<18} {:>6}  longest match", "destination", "port");
+    for p in &packets {
+        let key = stage_key(sys.guest_mut(), p);
+        let port = run_query(&fw, sys.guest(), fib.header_addr(), key).expect("lookup");
+        // The accelerator result equals the software and host oracles.
+        assert_eq!(port, fib.query_software(sys.guest(), p));
+        assert_eq!(port, fib.lookup_host(p));
+        let note = if port == RESULT_NOT_FOUND {
+            "no route (drop)".to_owned()
+        } else {
+            let (prefix, _) = routes
+                .iter()
+                .filter(|(pre, hop)| *hop == port && p.starts_with(pre))
+                .max_by_key(|(pre, _)| pre.len())
+                .expect("route exists");
+            format!("{}/{}", fmt_ip(&{
+                let mut padded = [0u8; 4];
+                padded[..prefix.len()].copy_from_slice(prefix);
+                padded
+            }), prefix.len() * 8)
+        };
+        println!("{:<18} {:>6}  {}", fmt_ip(p), port, note);
+    }
+
+    println!(
+        "\nthe LPM CFA is trie subtype 1 — the same accelerator hardware runs\n\
+         literal matching (Aho-Corasick) and longest-prefix routing with\n\
+         different firmware, the paper's generality claim in action."
+    );
+}

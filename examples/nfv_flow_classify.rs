@@ -1,0 +1,53 @@
+//! NFV flow classification: the paper's motivating networking scenario.
+//!
+//! A virtual switch classifies packets with tuple-space search — one cuckoo
+//! hash table per tuple, every packet probed against all of them. This
+//! example runs the classifier three ways: unmodified software, blocking
+//! `QUERY_B`, and batched non-blocking `QUERY_NB` (the paper's Fig. 10
+//! configuration), and prints the throughput each achieves.
+//!
+//! ```text
+//! cargo run --release --example nfv_flow_classify
+//! ```
+
+use qei::prelude::*;
+use qei::workloads::dpdk::TupleSpace;
+
+fn main() {
+    let tuples = 10;
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 7);
+    println!("building {tuples} tuple tables (cuckoo hash, 16 B keys)...");
+    let classifier = TupleSpace::build(sys.guest_mut(), tuples, 4_000, 100, 3);
+    let packets = classifier.jobs().len() / tuples;
+    println!(
+        "classifying {packets} packets x {tuples} tables = {} lookups",
+        classifier.jobs().len()
+    );
+
+    let baseline = sys.run_baseline(&classifier);
+    let per_packet = baseline.cycles as f64 / packets as f64;
+    println!(
+        "software baseline : {:>9} cycles ({per_packet:.0} cycles/packet)",
+        baseline.cycles
+    );
+
+    for scheme in [Scheme::CoreIntegrated, Scheme::ChaTlb, Scheme::DeviceIndirect] {
+        let blocking = sys.run_qei(&classifier, scheme, None);
+        // The paper polls every 32 keys: 32 x tuple_count requests in flight.
+        let nb = sys.run_qei_nonblocking_batched(&classifier, scheme, None, 32 * tuples);
+        println!(
+            "{:16}: QUERY_B {:>9} cycles ({:.2}x)   QUERY_NB {:>9} cycles ({:.2}x)",
+            scheme.label(),
+            blocking.cycles,
+            baseline.cycles as f64 / blocking.cycles as f64,
+            nb.cycles,
+            baseline.cycles as f64 / nb.cycles as f64,
+        );
+    }
+
+    println!(
+        "\nnon-blocking batching recovers the Device scheme's throughput by\n\
+         amortizing its long access latency over many in-flight queries —\n\
+         the effect the paper's Fig. 10 demonstrates."
+    );
+}

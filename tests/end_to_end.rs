@@ -1,0 +1,84 @@
+//! Cross-crate integration tests: the full system driven through the facade.
+
+use qei::prelude::*;
+use qei::workloads::dpdk::DpdkFib;
+use qei::workloads::jvm::JvmGc;
+
+#[test]
+fn full_pipeline_baseline_and_all_schemes_agree() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 1);
+    let w = DpdkFib::build(sys.guest_mut(), 1_000, 120, 9);
+    let base = sys.run_baseline(&w);
+    assert!(base.correct);
+    for scheme in Scheme::ALL {
+        // run_qei panics internally on any functional mismatch, so a clean
+        // return *is* the agreement check.
+        let r = sys.run_qei(&w, scheme, None);
+        assert!(r.correct, "{scheme}");
+        assert!(r.cycles > 0);
+        assert_eq!(r.queries, 120);
+        let accel = r.accel.expect("QEI run records accelerator stats");
+        assert_eq!(accel.queries, 120);
+        assert_eq!(accel.faults, 0);
+    }
+}
+
+#[test]
+fn nonblocking_agrees_with_blocking_results() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 2);
+    let w = DpdkFib::build(sys.guest_mut(), 500, 96, 10);
+    let b = sys.run_qei(&w, Scheme::ChaTlb, None);
+    let nb = sys.run_qei_nonblocking(&w, Scheme::ChaTlb, None);
+    assert!(b.correct && nb.correct);
+    // Both executed the same stream; the accelerator stats agree on work.
+    let (ab, anb) = (b.accel.unwrap(), nb.accel.unwrap());
+    assert_eq!(ab.queries, anb.queries);
+    assert_eq!(ab.hashes, anb.hashes);
+}
+
+#[test]
+fn dense_tree_queries_show_the_headline_speedup() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 3);
+    let w = JvmGc::build(sys.guest_mut(), 60_000, 400, 11);
+    let base = sys.run_baseline(&w);
+    let qei = sys.run_qei(&w, Scheme::ChaTlb, None);
+    let speedup = base.cycles as f64 / qei.cycles as f64;
+    assert!(speedup > 3.0, "speedup {speedup:.2}");
+}
+
+#[test]
+fn device_scheme_trails_integrated_schemes() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 4);
+    let w = DpdkFib::build(sys.guest_mut(), 1_000, 150, 12);
+    let core = sys.run_qei(&w, Scheme::CoreIntegrated, None).cycles;
+    let dev = sys.run_qei(&w, Scheme::DeviceIndirect, None).cycles;
+    assert!(
+        dev > 2 * core,
+        "device-indirect {dev} should clearly trail core-integrated {core}"
+    );
+}
+
+#[test]
+fn qst_occupancy_reflects_query_density() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 5);
+    // JVM: dense queries, tiny surrounding work -> busy QST.
+    let w = JvmGc::build(sys.guest_mut(), 30_000, 300, 13);
+    let r = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+    assert!(
+        r.qst_occupancy > 0.3,
+        "dense stream should keep the QST busy, got {:.2}",
+        r.qst_occupancy
+    );
+}
+
+#[test]
+fn reports_expose_reusable_metrics() {
+    let mut sys = System::new(MachineConfig::skylake_sp_24(), 6);
+    let w = DpdkFib::build(sys.guest_mut(), 500, 80, 14);
+    let base = sys.run_baseline(&w);
+    assert!(base.cycles_per_query() > 1.0);
+    assert!(base.uops_per_query() > 30.0);
+    assert!(base.end_to_end_cycles(4) > base.cycles as f64);
+    let qei = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+    assert!(qei.uops_per_query() < base.uops_per_query());
+}

@@ -1,0 +1,153 @@
+//! Fault-injection tests: the exception and interrupt semantics of §IV-D,
+//! exercised end-to-end through the timing model.
+
+use qei::cache::MemoryHierarchy;
+use qei::prelude::*;
+
+fn machine() -> (MachineConfig, GuestMem, MemoryHierarchy) {
+    let config = MachineConfig::skylake_sp_24();
+    let guest = GuestMem::new(0xE0);
+    let hier = MemoryHierarchy::new(&config);
+    (config, guest, hier)
+}
+
+fn list_with_items(guest: &mut GuestMem, n: u64) -> LinkedList {
+    let mut list = LinkedList::new(guest, 8).unwrap();
+    for i in 0..n {
+        list.insert(guest, format!("k{i:07}").as_bytes(), i + 1).unwrap();
+    }
+    list
+}
+
+#[test]
+fn unmapped_structure_pointer_raises_page_fault() {
+    let (config, mut guest, mut hier) = machine();
+    let header = Header {
+        ds_ptr: VirtAddr(0xBAD0_0000),
+        dtype: DsType::LinkedList,
+        subtype: 0,
+        key_len: 8,
+        flags: 0,
+        capacity: 0,
+        aux0: 0,
+        aux1: 0,
+        aux2: 0,
+    };
+    let ha = guest.alloc(64, 64).unwrap();
+    header.write_to(&mut guest, ha).unwrap();
+    let ka = stage_key(&mut guest, b"whatever");
+
+    let mut accel = QeiAccelerator::new(&config, Scheme::CoreIntegrated, 0);
+    let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+    assert_eq!(out.result, Err(FaultCode::PageFault));
+    assert_eq!(accel.stats().faults, 1);
+}
+
+#[test]
+fn corrupt_cyclic_structure_trips_the_watchdog() {
+    let (config, mut guest, mut hier) = machine();
+    // Two nodes pointing at each other, neither matching.
+    let kb = stage_key(&mut guest, b"storedkk");
+    let a = guest.alloc(24, 8).unwrap();
+    let b = guest.alloc(24, 8).unwrap();
+    guest.write_u64(a, b.0).unwrap();
+    guest.write_u64(a + 8, kb.0).unwrap();
+    guest.write_u64(a + 16, 1).unwrap();
+    guest.write_u64(b, a.0).unwrap();
+    guest.write_u64(b + 8, kb.0).unwrap();
+    guest.write_u64(b + 16, 2).unwrap();
+    let header = Header {
+        ds_ptr: a,
+        dtype: DsType::LinkedList,
+        subtype: 0,
+        key_len: 8,
+        flags: 0,
+        capacity: 0,
+        aux0: 0,
+        aux1: 0,
+        aux2: 0,
+    };
+    let ha = guest.alloc(64, 64).unwrap();
+    header.write_to(&mut guest, ha).unwrap();
+    let ka = stage_key(&mut guest, b"absent!!");
+
+    let mut accel = QeiAccelerator::new(&config, Scheme::ChaTlb, 0);
+    let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+    assert_eq!(out.result, Err(FaultCode::StepLimit));
+}
+
+#[test]
+fn malformed_headers_are_rejected_before_any_walk() {
+    let (config, mut guest, mut hier) = machine();
+    let list = list_with_items(&mut guest, 4);
+    // Corrupt the key length in place.
+    let mut bytes = [0u8; 64];
+    guest.read(list.header_addr(), &mut bytes).unwrap();
+    bytes[10] = 0;
+    bytes[11] = 0;
+    guest.write(list.header_addr(), &bytes).unwrap();
+    let ka = stage_key(&mut guest, b"k0000001");
+
+    let mut accel = QeiAccelerator::new(&config, Scheme::DeviceDirect, 0);
+    let out = accel.submit_blocking(Cycles(0), list.header_addr(), ka, &mut guest, &mut hier);
+    assert_eq!(out.result, Err(FaultCode::MalformedHeader));
+}
+
+#[test]
+fn interrupt_flush_aborts_nonblocking_queries_and_reissue_succeeds() {
+    let (config, mut guest, mut hier) = machine();
+    let list = list_with_items(&mut guest, 64);
+    let results = guest.alloc(8 * 8, 64).unwrap();
+    let mut accel = QeiAccelerator::new(&config, Scheme::CoreIntegrated, 0);
+
+    // Issue non-blocking queries, then take an "interrupt" before any could
+    // complete.
+    let mut keys = Vec::new();
+    for i in 0..8u64 {
+        let ka = stage_key(&mut guest, format!("k{:07}", 63 - i).as_bytes());
+        keys.push((ka, 64 - i));
+        accel.submit_nonblocking(
+            Cycles(0),
+            list.header_addr(),
+            ka,
+            results + i * 8,
+            &mut guest,
+            &mut hier,
+        );
+    }
+    let flush_done = accel.flush(Cycles(1), &mut guest);
+    assert!(flush_done > Cycles(1), "flush takes time to write abort codes");
+    assert_eq!(accel.stats().nb_aborts, 8);
+    for i in 0..8u64 {
+        let wire = guest.read_u64(results + i * 8).unwrap();
+        assert_eq!(FaultCode::decode(wire), Some(FaultCode::Aborted));
+    }
+
+    // Software reissues after interrupt handling; everything completes.
+    for (i, (ka, expect)) in keys.iter().enumerate() {
+        accel.submit_nonblocking(
+            flush_done,
+            list.header_addr(),
+            *ka,
+            results + i as u64 * 8,
+            &mut guest,
+            &mut hier,
+        );
+        let wire = guest.read_u64(results + i as u64 * 8).unwrap();
+        assert_eq!(wire, *expect);
+    }
+}
+
+#[test]
+fn blocking_queries_after_flush_start_clean() {
+    let (config, mut guest, mut hier) = machine();
+    let list = list_with_items(&mut guest, 16);
+    let mut accel = QeiAccelerator::new(&config, Scheme::CoreIntegrated, 0);
+    let ka = stage_key(&mut guest, b"k0000003");
+    let first = accel.submit_blocking(Cycles(0), list.header_addr(), ka, &mut guest, &mut hier);
+    assert_eq!(first.result, Ok(4));
+    let t = accel.flush(first.completion, &mut guest);
+    let second = accel.submit_blocking(t, list.header_addr(), ka, &mut guest, &mut hier);
+    assert_eq!(second.result, Ok(4));
+    assert!(second.completion > t);
+}

@@ -1,0 +1,232 @@
+//! Property-based tests on the repo's central invariants.
+//!
+//! The load-bearing one: for any structure contents and any query key, the
+//! QEI firmware (functional engine *and* every integration scheme's timing
+//! walk) returns exactly what the software routine returns.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qei::cache::MemoryHierarchy;
+use qei::prelude::*;
+
+fn key8(seed: u64) -> Vec<u8> {
+    format!("k{seed:07}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linked_list_firmware_matches_software(
+        values in vec(1u64..1_000_000, 1..40),
+        probes in vec(0u64..60, 1..12),
+        seed in 0u64..1_000,
+    ) {
+        let mut mem = GuestMem::new(seed);
+        let mut list = LinkedList::new(&mut mem, 8).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            list.insert(&mut mem, &key8(i as u64), *v).unwrap();
+        }
+        let fw = FirmwareStore::with_builtins();
+        for p in probes {
+            let key = key8(p);
+            let ka = stage_key(&mut mem, &key);
+            let sw = list.query_software(&mem, &key);
+            let hw = run_query(&fw, &mem, list.header_addr(), ka).unwrap();
+            prop_assert_eq!(sw, hw);
+        }
+    }
+
+    #[test]
+    fn cuckoo_hash_firmware_matches_software(
+        n in 1u64..200,
+        probes in vec(0u64..300, 1..10),
+        seed in 0u64..1_000,
+    ) {
+        let mut mem = GuestMem::new(seed);
+        let capacity = (n / 2).next_power_of_two().max(8);
+        let mut table = CuckooHash::new(&mut mem, capacity, 8, 16, (seed ^ 1, seed ^ 2)).unwrap();
+        let mut inserted = 0;
+        for i in 0..n {
+            let key = format!("flow:{i:011}");
+            if table.insert(&mut mem, key.as_bytes(), i + 1).is_ok() {
+                inserted += 1;
+            }
+        }
+        prop_assert!(inserted > 0);
+        let fw = FirmwareStore::with_builtins();
+        for p in probes {
+            let key = format!("flow:{p:011}");
+            let ka = stage_key(&mut mem, key.as_bytes());
+            let sw = table.query_software(&mem, key.as_bytes());
+            let hw = run_query(&fw, &mem, table.header_addr(), ka).unwrap();
+            prop_assert_eq!(sw, hw);
+        }
+    }
+
+    #[test]
+    fn skip_list_firmware_matches_software(
+        n in 1u64..150,
+        probes in vec(0u64..250, 1..10),
+        seed in 0u64..1_000,
+    ) {
+        let mut mem = GuestMem::new(seed);
+        let mut sl = SkipList::new(&mut mem, 8, 16, seed).unwrap();
+        for i in 0..n {
+            let key = format!("memkey-{i:09}");
+            sl.insert(&mut mem, key.as_bytes(), i + 1).unwrap();
+        }
+        let fw = FirmwareStore::with_builtins();
+        for p in probes {
+            let key = format!("memkey-{p:09}");
+            let ka = stage_key(&mut mem, key.as_bytes());
+            let sw = sl.query_software(&mem, key.as_bytes());
+            let hw = run_query(&fw, &mem, sl.header_addr(), ka).unwrap();
+            prop_assert_eq!(sw, hw);
+        }
+    }
+
+    #[test]
+    fn bst_firmware_matches_software(
+        keys in vec(1u64..100_000, 1..120),
+        probes in vec(1u64..100_000, 1..12),
+        seed in 0u64..1_000,
+    ) {
+        let mut mem = GuestMem::new(seed);
+        let mut tree = Bst::new(&mut mem).unwrap();
+        let mut uniq: Vec<u64> = keys;
+        uniq.sort_unstable();
+        uniq.dedup();
+        for &k in &uniq {
+            tree.insert(&mut mem, k, k + 7).unwrap();
+        }
+        let fw = FirmwareStore::with_builtins();
+        for p in probes {
+            let ka = stage_key(&mut mem, &p.to_be_bytes());
+            let sw = tree.query_software(&mem, &p.to_be_bytes());
+            let hw = run_query(&fw, &mem, tree.header_addr(), ka).unwrap();
+            prop_assert_eq!(sw, hw);
+        }
+    }
+
+    #[test]
+    fn trie_firmware_matches_software_and_host_oracle(
+        words in vec("[a-d]{1,6}", 1..25),
+        text in "[a-d ]{1,120}",
+        seed in 0u64..1_000,
+    ) {
+        let mut mem = GuestMem::new(seed);
+        let mut dict: Vec<Vec<u8>> = words.iter().map(|w| w.as_bytes().to_vec()).collect();
+        dict.sort();
+        dict.dedup();
+        let mut padded = text.into_bytes();
+        padded.resize(128, b'.');
+        let trie = AcTrie::build(&mut mem, &dict, 128).unwrap();
+        let ka = stage_key(&mut mem, &padded);
+        let fw = FirmwareStore::with_builtins();
+        let host = trie.count_matches_host(&padded);
+        let sw = trie.query_software(&mem, &padded);
+        let hw = run_query(&fw, &mem, trie.header_addr(), ka).unwrap();
+        prop_assert_eq!(host, sw);
+        prop_assert_eq!(sw, hw);
+    }
+
+    #[test]
+    fn timing_walk_matches_functional_engine_across_schemes(
+        n in 1u64..40,
+        probes in vec(0u64..60, 1..6),
+        seed in 0u64..500,
+    ) {
+        let config = MachineConfig::skylake_sp_24();
+        let mut mem = GuestMem::new(seed);
+        let mut table = ChainedHash::new(&mut mem, 16, 8, seed ^ 0xC0FFEE).unwrap();
+        for i in 0..n {
+            table.insert(&mut mem, &key8(i), i + 1).unwrap();
+        }
+        let fw = FirmwareStore::with_builtins();
+        for scheme in Scheme::ALL {
+            let mut hier = MemoryHierarchy::new(&config);
+            let mut accel = QeiAccelerator::new(&config, scheme, 0);
+            for &p in &probes {
+                let key = key8(p);
+                let ka = stage_key(&mut mem, &key);
+                let expected = run_query(&fw, &mem, table.header_addr(), ka);
+                let out = accel.submit_blocking(
+                    Cycles(0),
+                    table.header_addr(),
+                    ka,
+                    &mut mem,
+                    &mut hier,
+                );
+                prop_assert_eq!(out.result, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn lpm_trie_matches_host_oracle(
+        prefixes in vec((vec(any::<u8>(), 1..=4), 1u64..1000), 1..30),
+        probes in vec(any::<[u8; 4]>(), 1..16),
+        seed in 0u64..1_000,
+    ) {
+        let mut mem = GuestMem::new(seed);
+        // Dedup prefixes (duplicate routes panic by contract).
+        let mut seen = std::collections::HashSet::new();
+        let routes: Vec<(Vec<u8>, u64)> = prefixes
+            .into_iter()
+            .filter(|(p, _)| seen.insert(p.clone()))
+            .collect();
+        let trie = LpmTrie::build(&mut mem, &routes).unwrap();
+        let fw = FirmwareStore::with_builtins();
+        for addr in probes {
+            let host = trie.lookup_host(&addr);
+            let sw = trie.query_software(&mem, &addr);
+            let ka = stage_key(&mut mem, &addr);
+            let hw = run_query(&fw, &mem, trie.header_addr(), ka).unwrap();
+            prop_assert_eq!(host, sw);
+            prop_assert_eq!(sw, hw);
+        }
+    }
+
+    #[test]
+    fn header_wire_round_trip(
+        ds_ptr in 1u64..u64::MAX / 2,
+        dtype_byte in 1u8..=5,
+        subtype in 0u8..2,
+        key_len in 1u16..256,
+        capacity in 1u64..1_000_000,
+        aux0 in 1u64..8,
+        aux1 in any::<u64>(),
+        aux2 in any::<u64>(),
+    ) {
+        let dtype = DsType::from_byte(dtype_byte).unwrap();
+        let header = Header {
+            ds_ptr: VirtAddr(ds_ptr),
+            dtype,
+            subtype,
+            key_len: if dtype == DsType::Bst { 8 } else { key_len },
+            flags: 0,
+            capacity,
+            aux0,
+            aux1,
+            aux2,
+        };
+        if header.validate().is_ok() {
+            let rt = Header::from_bytes(&header.to_bytes()).unwrap();
+            prop_assert_eq!(rt, header);
+        }
+    }
+
+    #[test]
+    fn guest_memory_read_write_round_trip(
+        data in vec(any::<u8>(), 1..2_000),
+        offset in 0u64..5_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut mem = GuestMem::new(seed);
+        let base = mem.alloc(8_192, 8).unwrap();
+        mem.write(base + offset, &data).unwrap();
+        let got = mem.read_vec(base + offset, data.len()).unwrap();
+        prop_assert_eq!(got, data);
+    }
+}
