@@ -1,128 +1,64 @@
-//! Criterion benches regenerating the paper's figures, one group per figure.
+//! Benches regenerating the paper's figures, one timing line per figure.
 //!
-//! Each bench runs the experiment at quick scale so criterion's repeated
-//! sampling stays affordable; the `repro` binary runs the same entry points
-//! at paper scale. What criterion reports here is the *simulator's* cost of
-//! regenerating the figure — a regression guard on the harness itself —
-//! while the figure's content is printed once per bench for inspection.
+//! Each bench runs the experiment at quick scale so repeated sampling stays
+//! affordable; the `repro` binary runs the same entry points at paper
+//! scale. What is reported here is the *simulator's* cost of regenerating
+//! the figure — a regression guard on the harness itself — while the
+//! figure's content is printed once per bench for inspection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qei_bench::harness::{bench, bench_with_setup};
 use qei_config::Scheme;
 use qei_experiments::{fig1, fig10, fig11, fig12, fig7, fig8, fig9, suite, Scale};
+use qei_sim::{Engine, RunPlan, WorkloadKind, WorkloadSpec};
 use std::hint::black_box;
 
-fn bench_fig1_profile(c: &mut Criterion) {
+fn main() {
     let data = suite::collect(Scale::Quick);
+    let engine = Engine::paper();
+
     println!("{}", fig1::render(&data));
-    c.bench_function("fig1_profile", |b| {
-        b.iter(|| black_box(fig1::rows(black_box(&data))))
-    });
-}
+    bench("fig1_profile", || black_box(fig1::rows(&data)));
 
-fn bench_fig7_speedup(c: &mut Criterion) {
-    // The expensive part is the run matrix; bench one representative cell
-    // (JVM × CHA-TLB) end to end.
-    let data = suite::collect(Scale::Quick);
+    // The expensive part of fig7 is the run matrix; bench one representative
+    // cell (JVM × CHA-TLB) end to end.
     println!("{}", fig7::render(&data));
-    let mut group = c.benchmark_group("fig7_speedup");
-    group.sample_size(10);
-    group.bench_function("jvm_cha_tlb_cell", |b| {
-        b.iter_with_setup(
-            || {
-                let mut benches = suite::build_benches(Scale::Quick);
-                benches.remove(1) // JVM
-            },
-            |mut bench| {
-                let r = bench.sys.run_qei(bench.workload.as_ref(), Scheme::ChaTlb, None);
-                black_box(r.cycles)
-            },
-        )
+    let jvm = suite::suite_specs(Scale::Quick)[1];
+    bench("fig7_jvm_cha_tlb_cell", || {
+        black_box(engine.run(&RunPlan::qei(jvm, Scheme::ChaTlb)).cycles)
     });
-    group.finish();
-}
 
-fn bench_fig8_latency_sweep(c: &mut Criterion) {
     println!("{}", fig8::render(Scale::Quick));
-    let mut group = c.benchmark_group("fig8_latency_sweep");
-    group.sample_size(10);
-    group.bench_function("device_indirect_point", |b| {
-        b.iter_with_setup(
-            || {
-                let mut benches = suite::build_benches(Scale::Quick);
-                benches.remove(0) // DPDK
-            },
-            |mut bench| {
-                let r = bench
-                    .sys
-                    .run_qei(bench.workload.as_ref(), Scheme::DeviceIndirect, Some(500));
-                black_box(r.cycles)
-            },
+    let dpdk = suite::suite_specs(Scale::Quick)[0];
+    bench("fig8_device_indirect_point", || {
+        black_box(
+            engine
+                .run(&RunPlan::qei(dpdk, Scheme::DeviceIndirect).with_device_latency(500))
+                .cycles,
         )
     });
-    group.finish();
-}
 
-fn bench_fig9_end_to_end(c: &mut Criterion) {
-    let data = suite::collect(Scale::Quick);
     println!("{}", fig9::render(&data));
-    c.bench_function("fig9_end_to_end", |b| {
-        b.iter(|| black_box(fig9::rows(black_box(&data))))
-    });
-}
+    bench("fig9_end_to_end", || black_box(fig9::rows(&data)));
 
-fn bench_fig10_tuple_space(c: &mut Criterion) {
     println!("{}", fig10::render(fig10::Fig10Scale::quick()));
-    let mut group = c.benchmark_group("fig10_tuple_space");
-    group.sample_size(10);
-    group.bench_function("five_tuples_nb", |b| {
-        b.iter_with_setup(
-            || {
-                let mut sys = qei_sim::System::new(
-                    qei_config::MachineConfig::skylake_sp_24(),
-                    0xF1,
-                );
-                let w = qei_workloads::dpdk::TupleSpace::build(
-                    sys.guest_mut(),
-                    5,
-                    512,
-                    20,
-                    9,
-                );
-                (sys, w)
-            },
-            |(mut sys, w)| {
-                let r = sys.run_qei_nonblocking_batched(&w, Scheme::ChaTlb, None, 160);
-                black_box(r.cycles)
-            },
-        )
-    });
-    group.finish();
-}
+    let tuple5 = WorkloadSpec::new(
+        0xF1,
+        9,
+        WorkloadKind::TupleSpace {
+            tuples: 5,
+            flows_per_table: 512,
+            packets: 20,
+        },
+    );
+    bench_with_setup(
+        "fig10_five_tuples_nb",
+        || RunPlan::qei_nonblocking(tuple5, Scheme::ChaTlb, 160),
+        |plan| black_box(engine.run(&plan).cycles),
+    );
 
-fn bench_fig11_instructions(c: &mut Criterion) {
-    let data = suite::collect(Scale::Quick);
     println!("{}", fig11::render(&data));
-    c.bench_function("fig11_instructions", |b| {
-        b.iter(|| black_box(fig11::rows(black_box(&data))))
-    });
-}
+    bench("fig11_instructions", || black_box(fig11::rows(&data)));
 
-fn bench_fig12_dynamic_power(c: &mut Criterion) {
-    let data = suite::collect(Scale::Quick);
     println!("{}", fig12::render(&data));
-    c.bench_function("fig12_dynamic_power", |b| {
-        b.iter(|| black_box(fig12::rows(black_box(&data))))
-    });
+    bench("fig12_dynamic_power", || black_box(fig12::rows(&data)));
 }
-
-criterion_group!(
-    figures,
-    bench_fig1_profile,
-    bench_fig7_speedup,
-    bench_fig8_latency_sweep,
-    bench_fig9_end_to_end,
-    bench_fig10_tuple_space,
-    bench_fig11_instructions,
-    bench_fig12_dynamic_power,
-);
-criterion_main!(figures);

@@ -1,37 +1,26 @@
-//! Criterion benches for the paper's tables (I, II, III) plus the QST
-//! occupancy report.
+//! Benches for the paper's tables (I, II, III) plus the analytic
+//! area/power model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qei_bench::harness::bench;
 use qei_experiments::{tab1, tab2, tab3};
 use qei_power::{qei_components, static_power_mw, total_area_mm2, QeiHwConfig};
 use std::hint::black_box;
 
-fn bench_tab1_schemes(c: &mut Criterion) {
+fn main() {
     println!("{}", tab1::render());
-    c.bench_function("tab1_schemes", |b| b.iter(|| black_box(tab1::render())));
-}
+    bench("tab1_schemes", || black_box(tab1::render()));
 
-fn bench_tab2_machine(c: &mut Criterion) {
     println!("{}", tab2::render());
-    c.bench_function("tab2_machine", |b| b.iter(|| black_box(tab2::render())));
-}
+    bench("tab2_machine", || black_box(tab2::render()));
 
-fn bench_tab3_area_power(c: &mut Criterion) {
     println!("{}", tab3::render());
-    c.bench_function("tab3_area_power", |b| {
-        b.iter(|| {
-            let rows = tab3::rows();
-            black_box(rows.len())
-        })
+    bench("tab3_area_power", || {
+        let rows = tab3::rows();
+        black_box(rows.len())
     });
     // The analytic model itself, per configuration.
-    c.bench_function("tab3_model_qei240", |b| {
-        b.iter(|| {
-            let parts = qei_components(black_box(&QeiHwConfig::qei_240()));
-            black_box(total_area_mm2(&parts) + static_power_mw(&parts))
-        })
+    bench("tab3_model_qei240", || {
+        let parts = qei_components(black_box(&QeiHwConfig::qei_240()));
+        black_box(total_area_mm2(&parts) + static_power_mw(&parts))
     });
 }
-
-criterion_group!(tables, bench_tab1_schemes, bench_tab2_machine, bench_tab3_area_power);
-criterion_main!(tables);

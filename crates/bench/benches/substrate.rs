@@ -1,7 +1,7 @@
 //! Micro-benches of the substrate hot paths: guest memory, the query
 //! engines, the core model, and end-to-end query submission.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qei_bench::harness::{bench, bench_with_setup};
 use qei_bench::{checksum, dpdk_fixture, jvm_fixture};
 use qei_cache::MemoryHierarchy;
 use qei_config::{Cycles, MachineConfig, Scheme};
@@ -9,29 +9,26 @@ use qei_core::{run_query, FirmwareStore, QeiAccelerator};
 use qei_cpu::{CoreModel, MemBus, Trace};
 use qei_datastructs::{stage_key, ChainedHash, QueryDs};
 use qei_mem::GuestMem;
+use qei_sim::{Engine, RunMode};
 use std::hint::black_box;
 
-fn bench_guest_memory(c: &mut Criterion) {
+fn bench_guest_memory() {
     let mut mem = GuestMem::new(1);
     let buf = mem.alloc(1 << 20, 4096).unwrap();
-    c.bench_function("guest_read_u64", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 64) % (1 << 20);
-            black_box(mem.read_u64(buf + i).unwrap())
-        })
+    let mut i = 0u64;
+    bench("guest_read_u64", || {
+        i = (i + 64) % (1 << 20);
+        black_box(mem.read_u64(buf + i).unwrap())
     });
-    c.bench_function("guest_write_line", |b| {
-        let data = [7u8; 64];
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 64) % (1 << 20);
-            mem.write(buf + i, &data).unwrap();
-        })
+    let data = [7u8; 64];
+    let mut j = 0u64;
+    bench("guest_write_line", || {
+        j = (j + 64) % (1 << 20);
+        mem.write(buf + j, &data).unwrap();
     });
 }
 
-fn bench_functional_query(c: &mut Criterion) {
+fn bench_functional_query() {
     let mut mem = GuestMem::new(2);
     let mut table = ChainedHash::new(&mut mem, 1024, 16, 0xFEED).unwrap();
     for i in 0..10_000u64 {
@@ -43,20 +40,18 @@ fn bench_functional_query(c: &mut Criterion) {
     let keys: Vec<_> = (0..64u64)
         .map(|i| stage_key(&mut mem, format!("bench-key-{:06}", i * 37).as_bytes()))
         .collect();
-    c.bench_function("functional_hash_query", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % keys.len();
-            black_box(run_query(&fw, &mem, table.header_addr(), keys[i]).unwrap())
-        })
+    let mut i = 0;
+    bench("functional_hash_query", || {
+        i = (i + 1) % keys.len();
+        black_box(run_query(&fw, &mem, table.header_addr(), keys[i]).unwrap())
     });
-    c.bench_function("software_hash_query", |b| {
-        let key = format!("bench-key-{:06}", 703);
-        b.iter(|| black_box(table.query_software(&mem, key.as_bytes())))
+    let key = format!("bench-key-{:06}", 703);
+    bench("software_hash_query", || {
+        black_box(table.query_software(&mem, key.as_bytes()))
     });
 }
 
-fn bench_core_model(c: &mut Criterion) {
+fn bench_core_model() {
     let config = MachineConfig::skylake_sp_24();
     let mut guest = GuestMem::new(3);
     let base = guest.alloc(1 << 20, 4096).unwrap();
@@ -66,20 +61,19 @@ fn bench_core_model(c: &mut Criterion) {
         trace.alu1(Some(l));
         trace.branch(1, i % 3 == 0, Some(l));
     }
-    c.bench_function("core_model_30k_uops", |b| {
-        b.iter_with_setup(
-            || {
-                (
-                    CoreModel::new(&config, 0),
-                    MemBus::new(MemoryHierarchy::new(&config), guest.space()),
-                )
-            },
-            |(mut core, mut bus)| black_box(core.run(&trace, &mut bus).cycles),
-        )
-    });
+    bench_with_setup(
+        "core_model_30k_uops",
+        || {
+            (
+                CoreModel::new(&config, 0),
+                MemBus::new(MemoryHierarchy::new(&config), guest.space()),
+            )
+        },
+        |(mut core, mut bus)| black_box(core.run(&trace, &mut bus).cycles),
+    );
 }
 
-fn bench_accel_submission(c: &mut Criterion) {
+fn bench_accel_submission() {
     let config = MachineConfig::skylake_sp_24();
     let mut guest = GuestMem::new(4);
     let mut table = ChainedHash::new(&mut guest, 512, 8, 0xAB).unwrap();
@@ -91,54 +85,45 @@ fn bench_accel_submission(c: &mut Criterion) {
     let keys: Vec<_> = (0..64u64)
         .map(|i| stage_key(&mut guest, format!("k{:07}", i * 13).as_bytes()))
         .collect();
-    let mut group = c.benchmark_group("accel_submit");
     for scheme in [Scheme::CoreIntegrated, Scheme::ChaTlb] {
-        group.bench_function(scheme.label(), |b| {
-            let mut hier = MemoryHierarchy::new(&config);
-            let mut accel = QeiAccelerator::new(&config, scheme, 0);
-            let mut i = 0;
-            let mut now = Cycles(0);
-            b.iter(|| {
-                i = (i + 1) % keys.len();
-                let out = accel.submit_blocking(
-                    now,
-                    table.header_addr(),
-                    keys[i],
-                    &mut guest,
-                    &mut hier,
-                );
-                now = Cycles(out.completion.as_u64() % 1_000_000);
-                black_box(out.result.unwrap())
-            })
+        let mut hier = MemoryHierarchy::new(&config);
+        let mut accel = QeiAccelerator::new(&config, scheme, 0);
+        let mut i = 0;
+        let mut now = Cycles(0);
+        bench(&format!("accel_submit/{}", scheme.label()), || {
+            i = (i + 1) % keys.len();
+            let out =
+                accel.submit_blocking(now, table.header_addr(), keys[i], &mut guest, &mut hier);
+            now = Cycles(out.completion.as_u64() % 1_000_000);
+            black_box(out.result.unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_runs");
-    group.sample_size(10);
-    group.bench_function("dpdk_baseline", |b| {
-        b.iter_with_setup(dpdk_fixture, |(mut sys, w)| {
-            let r = sys.run_baseline(&w);
-            black_box(checksum(&r))
-        })
+fn bench_full_runs() {
+    bench_with_setup("full_runs/dpdk_baseline", dpdk_fixture, |(mut sys, w)| {
+        let r = Engine::run_workload(&mut sys, &w, RunMode::Baseline, None);
+        black_box(checksum(&r))
     });
-    group.bench_function("jvm_core_integrated", |b| {
-        b.iter_with_setup(jvm_fixture, |(mut sys, w)| {
-            let r = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+    bench_with_setup(
+        "full_runs/jvm_core_integrated",
+        jvm_fixture,
+        |(mut sys, w)| {
+            let r = Engine::run_workload(
+                &mut sys,
+                &w,
+                RunMode::QeiBlocking,
+                Some(Scheme::CoreIntegrated),
+            );
             black_box(checksum(&r))
-        })
-    });
-    group.finish();
+        },
+    );
 }
 
-criterion_group!(
-    substrate,
-    bench_guest_memory,
-    bench_functional_query,
-    bench_core_model,
-    bench_accel_submission,
-    bench_full_runs,
-);
-criterion_main!(substrate);
+fn main() {
+    bench_guest_memory();
+    bench_functional_query();
+    bench_core_model();
+    bench_accel_submission();
+    bench_full_runs();
+}

@@ -1,0 +1,88 @@
+//! A minimal wall-clock timing harness for the `harness = false` benches.
+//!
+//! Each measured closure is warmed up once, then sampled repeatedly until a
+//! fixed time budget is spent (or a sample cap is hit), and min / mean /
+//! max per-call times are printed. `QEI_BENCH_BUDGET_MS` overrides the
+//! per-bench budget for quick smoke runs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-bench sampling budget.
+fn budget() -> Duration {
+    let ms = std::env::var("QEI_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500u64);
+    Duration::from_millis(ms)
+}
+
+const MAX_SAMPLES: usize = 50;
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos}ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Times `f` (no per-call setup) and prints one result line.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    bench_with_setup(name, || (), |()| f());
+}
+
+/// Times `f` with a fresh, untimed `setup` product per call and prints one
+/// result line.
+pub fn bench_with_setup<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) {
+    // Warm-up call: first-touch costs (page faults, lazy init) stay out of
+    // the samples.
+    black_box(f(setup()));
+
+    let budget = budget();
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while samples.len() < MAX_SAMPLES && (samples.is_empty() || started.elapsed() < budget) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(f(input));
+        samples.push(t0.elapsed());
+    }
+
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "bench {name:40} {:>10} min  {:>10} mean  {:>10} max  ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        samples.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(format_duration(Duration::from_nanos(120)), "120ns");
+        assert_eq!(format_duration(Duration::from_micros(500)), "500.0µs");
+        assert_eq!(format_duration(Duration::from_millis(20)), "20.0ms");
+        assert_eq!(format_duration(Duration::from_secs(12)), "12.00s");
+    }
+
+    #[test]
+    fn bench_runs_and_counts() {
+        // Just exercise the path with a trivial closure.
+        std::env::set_var("QEI_BENCH_BUDGET_MS", "1");
+        bench("noop", || 1 + 1);
+        std::env::remove_var("QEI_BENCH_BUDGET_MS");
+    }
+}

@@ -1,5 +1,7 @@
-//! Shared setup for the criterion benches: pre-built systems and workloads
-//! so the benches measure simulation, not construction.
+//! Shared setup for the benches: pre-built systems and workloads so the
+//! benches measure simulation, not construction — plus a small
+//! self-contained timing harness (the environment is offline, so no
+//! external bench framework).
 
 use qei_config::MachineConfig;
 use qei_sim::System;
@@ -7,8 +9,10 @@ use qei_workloads::dpdk::DpdkFib;
 use qei_workloads::jvm::JvmGc;
 use qei_workloads::Workload;
 
+pub mod harness;
+
 /// A pre-built DPDK bench fixture (bench-sized: small enough for tight
-/// criterion iterations, large enough to exercise the full path).
+/// iteration, large enough to exercise the full path).
 pub fn dpdk_fixture() -> (System, DpdkFib) {
     let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xB1);
     let w = DpdkFib::build(sys.guest_mut(), 2_000, 150, 1);

@@ -43,6 +43,17 @@ pub struct MemStats {
     pub dram_accesses: u64,
 }
 
+impl MemStats {
+    /// Exports the hierarchy counters into the run's central registry under
+    /// the `mem` group.
+    pub fn export_stats(&self, reg: &mut qei_config::StatsRegistry) {
+        reg.set("mem", "l1_accesses", self.l1_accesses);
+        reg.set("mem", "l2_accesses", self.l2_accesses);
+        reg.set("mem", "llc_accesses", self.llc_accesses);
+        reg.set("mem", "dram_accesses", self.dram_accesses);
+    }
+}
+
 /// The memory system of the simulated machine.
 #[derive(Debug)]
 pub struct MemoryHierarchy {
@@ -63,9 +74,15 @@ impl MemoryHierarchy {
             ..config.llc
         };
         MemoryHierarchy {
-            l1d: (0..config.cores).map(|_| SetCache::new(config.l1d)).collect(),
-            l2: (0..config.cores).map(|_| SetCache::new(config.l2)).collect(),
-            llc: (0..config.cores).map(|_| SetCache::new(slice_params)).collect(),
+            l1d: (0..config.cores)
+                .map(|_| SetCache::new(config.l1d))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| SetCache::new(config.l2))
+                .collect(),
+            llc: (0..config.cores)
+                .map(|_| SetCache::new(slice_params))
+                .collect(),
             dram: Dram::new(config.dram),
             noc: Mesh::new(config),
             cores: config.cores,
@@ -302,7 +319,10 @@ mod tests {
         assert_eq!(r1.level, HitLevel::Dram);
         let r2 = m.access_cha(home, pa, false, 0);
         assert_eq!(r2.level, HitLevel::Llc);
-        assert!(!m.in_private_caches(0, pa), "CHA path must not pollute L1/L2");
+        assert!(
+            !m.in_private_caches(0, pa),
+            "CHA path must not pollute L1/L2"
+        );
     }
 
     #[test]

@@ -19,5 +19,5 @@ pub mod hierarchy;
 pub mod set_cache;
 
 pub use dram::Dram;
-pub use hierarchy::{AccessResult, HitLevel, MemoryHierarchy, MemStats};
+pub use hierarchy::{AccessResult, HitLevel, MemStats, MemoryHierarchy};
 pub use set_cache::{CacheStats, SetCache};

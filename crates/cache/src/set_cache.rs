@@ -44,7 +44,10 @@ impl SetCache {
     pub fn new(params: CacheParams) -> Self {
         let lines = params.size_bytes / params.line_bytes as u64;
         assert!(lines > 0 && params.ways > 0);
-        assert!(lines % params.ways as u64 == 0, "geometry must divide evenly");
+        assert!(
+            lines.is_multiple_of(params.ways as u64),
+            "geometry must divide evenly"
+        );
         let n_sets = (lines / params.ways as u64) as usize;
         SetCache {
             sets: vec![Vec::with_capacity(params.ways as usize); n_sets],
@@ -167,7 +170,7 @@ mod tests {
         c.access(0, true); // dirty
         c.access(4, false);
         let t = c.access(8, false); // evicts dirty 0? No: LRU is 0 after 4,8 inserted
-        // MRU order after: 8,4 — evicted was 0 (dirty).
+                                    // MRU order after: 8,4 — evicted was 0 (dirty).
         assert_eq!(t.writeback, Some(0));
         assert_eq!(c.stats().writebacks, 1);
     }

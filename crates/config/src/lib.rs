@@ -19,10 +19,14 @@
 
 pub mod cycles;
 pub mod machine;
+pub mod registry;
+pub mod rng;
 pub mod scheme;
 pub mod stats;
 
 pub use cycles::Cycles;
 pub use machine::{CacheParams, DramParams, MachineConfig, QeiParams, TlbParams};
+pub use registry::{StatValue, StatsRegistry};
+pub use rng::SimRng;
 pub use scheme::{Scheme, SchemeParams};
 pub use stats::{Counter, Histogram, Ratio};

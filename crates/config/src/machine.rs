@@ -27,7 +27,7 @@ impl CacheParams {
     pub fn sets(&self) -> u64 {
         let lines = self.size_bytes / self.line_bytes as u64;
         assert!(
-            lines % self.ways as u64 == 0,
+            lines.is_multiple_of(self.ways as u64),
             "cache geometry must divide evenly: {lines} lines, {} ways",
             self.ways
         );
@@ -74,6 +74,9 @@ pub struct QeiParams {
     pub hash_latency: u64,
     /// Dedicated accelerator TLB entries (CHA-TLB / Device schemes).
     pub accel_tlb_entries: u32,
+    /// Override for the device-interface data-access latency in cycles.
+    /// `None` uses the scheme's own default; the Fig. 8 sweep sets this.
+    pub device_data_latency: Option<u64>,
 }
 
 /// Full simulated machine configuration (the paper's Table II).
@@ -186,6 +189,7 @@ impl MachineConfig {
                 comparator_bytes_per_cycle: 8,
                 hash_latency: 6,
                 accel_tlb_entries: 1024,
+                device_data_latency: None,
             },
             process_nm: 22,
         }
@@ -224,12 +228,12 @@ impl MachineConfig {
         if self.dispatch_width == 0 {
             problems.push("dispatch_width must be nonzero".to_owned());
         }
-        if self.llc.size_bytes % self.cores as u64 != 0 {
+        if !self.llc.size_bytes.is_multiple_of(self.cores as u64) {
             problems.push("LLC must split evenly across slices".to_owned());
         }
         for (name, c) in [("l1d", &self.l1d), ("l2", &self.l2)] {
             let lines = c.size_bytes / c.line_bytes as u64;
-            if lines % c.ways as u64 != 0 {
+            if !lines.is_multiple_of(c.ways as u64) {
                 problems.push(format!("{name} geometry does not divide evenly"));
             }
         }
@@ -282,10 +286,7 @@ mod tests {
 
         let mut m = MachineConfig::skylake_sp_24();
         m.llc.size_bytes += 1;
-        assert!(m
-            .validate()
-            .iter()
-            .any(|p| p.contains("split evenly")));
+        assert!(m.validate().iter().any(|p| p.contains("split evenly")));
     }
 
     #[test]

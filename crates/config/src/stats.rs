@@ -86,7 +86,13 @@ impl Ratio {
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.1}%)", self.hits, self.total, self.fraction() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.1}%)",
+            self.hits,
+            self.total,
+            self.fraction() * 100.0
+        )
     }
 }
 

@@ -94,6 +94,34 @@ impl AccelStats {
             self.latency_sum as f64 / self.queries as f64
         }
     }
+
+    /// Exports the accelerator counters into the run's central registry
+    /// under the `accel` group.
+    pub fn export_stats(&self, reg: &mut qei_config::StatsRegistry) {
+        reg.set("accel", "queries", self.queries);
+        reg.set("accel", "faults", self.faults);
+        reg.set("accel", "mem_ops", self.mem_ops);
+        reg.set("accel", "lines_fetched", self.lines_fetched);
+        reg.set("accel", "compares", self.compares);
+        reg.set("accel", "compare_bytes", self.compare_bytes);
+        reg.set("accel", "hashes", self.hashes);
+        reg.set("accel", "alu_ops", self.alu_ops);
+        reg.set("accel", "remote_compares", self.remote_compares);
+        reg.set("accel", "tlb_lookups", self.tlb_lookups);
+        reg.set("accel", "tlb_misses", self.tlb_misses);
+        reg.set("accel", "latency_sum", self.latency_sum);
+        reg.set("accel", "nb_aborts", self.nb_aborts);
+        reg.set("accel", "mean_latency", self.mean_latency());
+    }
+}
+
+/// Where a firmware-walk step executes: the serving instance and the walk's
+/// current time. Bundled so the per-op pricing helpers stay at a readable
+/// arity.
+#[derive(Debug, Clone, Copy)]
+struct WalkPos {
+    inst: usize,
+    t: Cycles,
 }
 
 /// One accelerator deployment for a single issuing core (the paper evaluates
@@ -139,9 +167,7 @@ impl QeiAccelerator {
             Scheme::CoreIntegrated => (1, qst_entries),
             // Device schemes: one centralized accelerator sized for the chip
             // (10 × cores entries, paper §VI-A).
-            Scheme::DeviceDirect | Scheme::DeviceIndirect => {
-                (1, qst_entries * config.cores)
-            }
+            Scheme::DeviceDirect | Scheme::DeviceIndirect => (1, qst_entries * config.cores),
         };
         let tlb_params = |entries: u32| TlbParams {
             entries,
@@ -177,7 +203,10 @@ impl QeiAccelerator {
             cee_issued: vec![0; instances],
             tlbs,
             comparators,
-            device_data_latency: scheme.params().accel_data_latency,
+            device_data_latency: config
+                .qei
+                .device_data_latency
+                .unwrap_or(scheme.params().accel_data_latency),
             force_local_compare: false,
             nb_drain: Cycles::ZERO,
             nb_outstanding: Vec::new(),
@@ -324,7 +353,9 @@ impl QeiAccelerator {
         self.stats.nb_aborts += aborted_nb as u64;
         // Coalesced non-temporal stores: ~1 store per cacheline of results,
         // after address translation (already translated at submit).
-        let lines = aborted_nb.div_ceil(8).max(if aborted_nb > 0 { 1 } else { 0 });
+        let lines = aborted_nb
+            .div_ceil(8)
+            .max(if aborted_nb > 0 { 1 } else { 0 });
         let flush_done = now + Cycles(lines as u64 * 4);
         self.nb_drain = flush_done;
         flush_done
@@ -349,7 +380,10 @@ impl QeiAccelerator {
             Ok(h) => h,
             Err(code) => {
                 self.stats.faults += 1;
-                return (now + Cycles(self.request_latency(mem, header_addr)), Err(code));
+                return (
+                    now + Cycles(self.request_latency(mem, header_addr)),
+                    Err(code),
+                );
             }
         };
 
@@ -361,8 +395,8 @@ impl QeiAccelerator {
         let mut t = start;
 
         // Header fetch + parse (one line).
-        t = t + self.mem_op(mem, guest, inst, header_addr, 64, false, t);
-        t = t + Cycles(HEADER_PARSE_CYCLES);
+        t = t + self.mem_op(mem, guest, WalkPos { inst, t }, header_addr, 64, false);
+        t += Cycles(HEADER_PARSE_CYCLES);
 
         // Key fetch (MEM.K).
         let key = match guest.read_vec(key_addr, header.key_len as usize) {
@@ -373,7 +407,14 @@ impl QeiAccelerator {
                 return (t, Err(FaultCode::from(e)));
             }
         };
-        t = t + self.mem_op(mem, guest, inst, key_addr, header.key_len as u32, false, t);
+        t = t + self.mem_op(
+            mem,
+            guest,
+            WalkPos { inst, t },
+            key_addr,
+            header.key_len as u32,
+            false,
+        );
 
         let program = match self.firmware.lookup(header.dtype.to_byte(), header.subtype) {
             Some(p) => p.clone(),
@@ -407,7 +448,7 @@ impl QeiAccelerator {
                         break Err(FaultCode::StepLimit);
                     }
                     // Price the op, then execute it functionally.
-                    t = t + self.price_op(mem, guest, inst, &ctx, other, t, staged);
+                    t = t + self.price_op(mem, guest, WalkPos { inst, t }, &ctx, other, staged);
                     if let MicroOp::Read { addr, len } = other {
                         staged = Some((addr.0, addr.0 + len as u64));
                     }
@@ -466,18 +507,16 @@ impl QeiAccelerator {
         &mut self,
         mem: &mut MemoryHierarchy,
         guest: &GuestMem,
-        inst: usize,
+        pos: WalkPos,
         ctx: &QueryCtx,
         op: MicroOp,
-        t: Cycles,
         staged: Option<(u64, u64)>,
     ) -> Cycles {
         match op {
-            MicroOp::Read { addr, len } => self.mem_op(mem, guest, inst, addr, len, false, t),
+            MicroOp::Read { addr, len } => self.mem_op(mem, guest, pos, addr, len, false),
             MicroOp::Compare { addr, len, .. } => {
-                let inline = staged
-                    .is_some_and(|(s, e)| addr.0 >= s && addr.0 + len as u64 <= e);
-                self.compare_op(mem, guest, inst, addr, len, t, inline)
+                let inline = staged.is_some_and(|(s, e)| addr.0 >= s && addr.0 + len as u64 <= e);
+                self.compare_op(mem, guest, pos, addr, len, inline)
             }
             MicroOp::Hash { .. } => {
                 self.stats.hashes += 1;
@@ -496,7 +535,13 @@ impl QeiAccelerator {
     }
 
     /// Translation latency on the accelerator path for this scheme.
-    fn translate(&mut self, mem: &mut MemoryHierarchy, inst: usize, addr: VirtAddr, _now: u64) -> u64 {
+    fn translate(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        inst: usize,
+        addr: VirtAddr,
+        _now: u64,
+    ) -> u64 {
         self.stats.tlb_lookups += 1;
         match self.scheme {
             Scheme::ChaNoTlb => {
@@ -522,7 +567,13 @@ impl QeiAccelerator {
     }
 
     /// A data access (line-granular) from the accelerator's position.
-    fn data_access(&mut self, mem: &mut MemoryHierarchy, pa: qei_mem::PhysAddr, write: bool, t: Cycles) -> Cycles {
+    fn data_access(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        pa: qei_mem::PhysAddr,
+        write: bool,
+        t: Cycles,
+    ) -> Cycles {
         let now = t.as_u64();
         match self.scheme {
             Scheme::ChaTlb | Scheme::ChaNoTlb => {
@@ -532,7 +583,8 @@ impl QeiAccelerator {
                 mem.access_cha(home, pa, write, now).latency
             }
             Scheme::CoreIntegrated => {
-                mem.access_l2_read_through(self.core_id, pa, write, now).latency
+                mem.access_l2_read_through(self.core_id, pa, write, now)
+                    .latency
             }
             Scheme::DeviceDirect => {
                 let dev = mem.noc().device_tile();
@@ -555,12 +607,12 @@ impl QeiAccelerator {
         &mut self,
         mem: &mut MemoryHierarchy,
         guest: &GuestMem,
-        inst: usize,
+        pos: WalkPos,
         addr: VirtAddr,
         len: u32,
         write: bool,
-        t: Cycles,
     ) -> Cycles {
+        let WalkPos { inst, t } = pos;
         self.stats.mem_ops += 1;
         let lines = MicroOp::Read { addr, len }.lines_touched().max(1);
         self.stats.lines_fetched += lines as u64;
@@ -584,12 +636,12 @@ impl QeiAccelerator {
         &mut self,
         mem: &mut MemoryHierarchy,
         guest: &GuestMem,
-        inst: usize,
+        pos: WalkPos,
         addr: VirtAddr,
         len: u32,
-        t: Cycles,
         inline: bool,
     ) -> Cycles {
+        let WalkPos { inst, t } = pos;
         self.stats.compares += 1;
         self.stats.compare_bytes += len as u64;
         if inline {
@@ -605,8 +657,7 @@ impl QeiAccelerator {
             Ok(pa) => pa,
             Err(_) => return Cycles(tlb + self.config.page_walk_latency),
         };
-        let cmp_cycles =
-            (len as u64).div_ceil(self.config.qei.comparator_bytes_per_cycle as u64);
+        let cmp_cycles = (len as u64).div_ceil(self.config.qei.comparator_bytes_per_cycle as u64);
         let after_tlb = t + Cycles(tlb);
 
         if self.scheme.comparators_in_cha() && !self.force_local_compare {
@@ -621,14 +672,12 @@ impl QeiAccelerator {
             if origin != Tile(home as u32) {
                 self.stats.remote_compares += 1;
                 // Request there + verdict back (16 B messages).
-                travel = travel
-                    + mem
-                        .noc_mut()
-                        .transfer(origin, Tile(home as u32), 16, after_tlb.as_u64());
-                travel = travel
-                    + mem
-                        .noc_mut()
-                        .transfer(Tile(home as u32), origin, 16, after_tlb.as_u64());
+                travel += mem
+                    .noc_mut()
+                    .transfer(origin, Tile(home as u32), 16, after_tlb.as_u64());
+                travel += mem
+                    .noc_mut()
+                    .transfer(Tile(home as u32), origin, 16, after_tlb.as_u64());
             }
             let data = mem
                 .access_cha(home as u32, pa, false, after_tlb.as_u64())
@@ -706,8 +755,7 @@ mod tests {
             for i in [0u64, 7, 15, 99] {
                 let ka = key_at(&mut guest, i);
                 let functional = run_query(&fw, &guest, ha, ka);
-                let out =
-                    accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+                let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
                 assert_eq!(out.result, functional, "{scheme}: key {i}");
                 assert!(out.completion > Cycles(0));
             }

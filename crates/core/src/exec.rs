@@ -203,7 +203,9 @@ mod tests {
         let seed = 0x5eed;
         let buckets = mem.alloc(capacity * 8, 64).unwrap();
         // Insert keys k0..k19 with values 100+i via chained buckets.
-        let keys: Vec<Vec<u8>> = (0..20u64).map(|i| format!("key-{i:03}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..20u64)
+            .map(|i| format!("key-{i:03}").into_bytes())
+            .collect();
         for (i, k) in keys.iter().enumerate() {
             let h = hash_bytes(seed, k) % capacity;
             let slot = buckets + h * 8;
@@ -363,7 +365,10 @@ mod tests {
         fw = {
             let mut empty = fw.clone();
             // Re-register under a different subtype so lookup(.,0) fails.
-            let p = empty.lookup(DsType::LinkedList.to_byte(), 0).unwrap().clone();
+            let p = empty
+                .lookup(DsType::LinkedList.to_byte(), 0)
+                .unwrap()
+                .clone();
             empty.register(DsType::LinkedList.to_byte(), 0, p);
             empty
         };

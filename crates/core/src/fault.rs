@@ -111,15 +111,12 @@ mod tests {
     fn normal_results_do_not_decode_as_faults() {
         assert_eq!(FaultCode::decode(0), None);
         assert_eq!(FaultCode::decode(0x7f00_1234_5678_9abc), None);
-        assert_eq!(FaultCode::decode(u64::MAX & !0xFF), None);
+        assert_eq!(FaultCode::decode(!0xFF), None);
     }
 
     #[test]
     fn mem_error_conversion() {
-        assert_eq!(
-            FaultCode::from(MemError::NullDeref),
-            FaultCode::NullPointer
-        );
+        assert_eq!(FaultCode::from(MemError::NullDeref), FaultCode::NullPointer);
         assert_eq!(
             FaultCode::from(MemError::Unmapped(qei_mem::VirtAddr(0x99))),
             FaultCode::PageFault

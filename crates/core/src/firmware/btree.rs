@@ -70,9 +70,7 @@ impl BPlusTreeCfa {
         let mut idx = 0;
         while idx < count {
             let off = (NODE_KEYS_OFF as usize) + idx * 8;
-            let stored = u64::from_be_bytes(
-                ctx.line[off..off + 8].try_into().expect("staged key"),
-            );
+            let stored = u64::from_be_bytes(ctx.line[off..off + 8].try_into().expect("staged key"));
             if stored > query {
                 break;
             }
@@ -103,8 +101,7 @@ impl CfaProgram for BPlusTreeCfa {
             (BT_SEARCH, OpOutcome::AluDone) => {
                 let is_leaf = ctx.line_u16(NODE_IS_LEAF_OFF as usize) != 0;
                 let count = ctx.line_u16(NODE_COUNT_OFF as usize) as usize;
-                let query =
-                    u64::from_be_bytes(ctx.key[..8].try_into().expect("8-byte key"));
+                let query = u64::from_be_bytes(ctx.key[..8].try_into().expect("8-byte key"));
                 if is_leaf {
                     // Exact-match scan of the staged leaf.
                     for i in 0..count {

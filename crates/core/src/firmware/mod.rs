@@ -174,6 +174,6 @@ mod tests {
         assert_ne!(STATE_START, STATE_DONE);
         assert_ne!(STATE_DONE, STATE_EXCEPTION);
         let _ = FaultCode::StepLimit; // referenced by the watchdog
-        assert!(STEP_LIMIT > 1_000);
+        const { assert!(STEP_LIMIT > 1_000) };
     }
 }

@@ -83,8 +83,7 @@ impl SkipListCfa {
     /// Copies the staged node's forward pointers into the QST data field.
     fn retain_next_array(ctx: &mut QueryCtx, up_to_level: u64) {
         for l in 0..=up_to_level.min(SCRATCH_LEVELS - 1) {
-            ctx.scratch[l as usize] =
-                ctx.line_u64((NODE_NEXT_BASE_OFF + 8 * l) as usize);
+            ctx.scratch[l as usize] = ctx.line_u64((NODE_NEXT_BASE_OFF + 8 * l) as usize);
         }
     }
 

@@ -166,15 +166,11 @@ impl Header {
                     return Err(FaultCode::MalformedHeader);
                 }
             }
-            DsType::SkipList => {
-                if !(1..=32).contains(&self.aux0) {
-                    return Err(FaultCode::MalformedHeader);
-                }
+            DsType::SkipList if !(1..=32).contains(&self.aux0) => {
+                return Err(FaultCode::MalformedHeader);
             }
-            DsType::Bst => {
-                if self.key_len != 8 {
-                    return Err(FaultCode::MalformedHeader);
-                }
+            DsType::Bst if self.key_len != 8 => {
+                return Err(FaultCode::MalformedHeader);
             }
             _ => {}
         }

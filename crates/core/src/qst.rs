@@ -112,8 +112,10 @@ impl QueryStateTable {
         for b in &mut self.slots {
             if *b > now {
                 // Busy time beyond `now` is forfeited.
-                self.stats.busy_slot_cycles =
-                    self.stats.busy_slot_cycles.saturating_sub((*b - now).as_u64());
+                self.stats.busy_slot_cycles = self
+                    .stats
+                    .busy_slot_cycles
+                    .saturating_sub((*b - now).as_u64());
                 *b = now;
                 aborted += 1;
             }

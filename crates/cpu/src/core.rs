@@ -34,7 +34,7 @@ impl StallBreakdown {
 }
 
 /// Result of pricing one trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunResult {
     /// End-to-end cycles (last in-order retirement).
     pub cycles: u64,
@@ -91,6 +91,33 @@ impl RunResult {
         } else {
             self.load_latency_sum as f64 / self.loads as f64
         }
+    }
+
+    /// Exports the core-side counters into the run's central registry under
+    /// the `core` group.
+    pub fn export_stats(&self, reg: &mut qei_config::StatsRegistry) {
+        reg.set("core", "cycles", self.cycles);
+        reg.set("core", "uops", self.uops);
+        reg.set("core", "branches", self.branches);
+        reg.set("core", "mispredicts", self.mispredicts);
+        reg.set("core", "dtlb_misses", self.dtlb_misses);
+        reg.set("core", "stlb_misses", self.stlb_misses);
+        reg.set("core", "loads", self.loads);
+        reg.set("core", "load_latency_sum", self.load_latency_sum);
+        reg.set("core", "ipc", self.ipc());
+        reg.set("core", "frontend_bound", self.frontend_bound());
+        reg.set("core", "backend_bound", self.backend_bound());
+        reg.set("core", "stall_frontend_cycles", self.stalls.frontend);
+        reg.set(
+            "core",
+            "stall_backend_memory_cycles",
+            self.stalls.backend_memory,
+        );
+        reg.set(
+            "core",
+            "stall_backend_core_cycles",
+            self.stalls.backend_core,
+        );
     }
 }
 
@@ -468,9 +495,7 @@ mod tests {
         let mut t_nofence = Trace::new();
         t_nofence.alu_block(100);
         let mut core = CoreModel::new(&config, 0);
-        let base = core
-            .run(&t_nofence, &mut hier)
-            .cycles;
+        let base = core.run(&t_nofence, &mut hier).cycles;
 
         let mut t = Trace::new();
         for _ in 0..50 {
@@ -478,9 +503,7 @@ mod tests {
             t.fence();
         }
         let mut core2 = CoreModel::new(&config, 0);
-        let fenced = core2
-            .run(&t, &mut hier)
-            .cycles;
+        let fenced = core2.run(&t, &mut hier).cycles;
         assert!(fenced > base, "fenced {fenced} vs base {base}");
     }
 

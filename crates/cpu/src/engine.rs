@@ -93,14 +93,20 @@ mod tests {
     #[should_panic(expected = "QUERY_B")]
     fn mem_bus_rejects_blocking() {
         let space = AddressSpace::new();
-        let mut bus = MemBus::new(MemoryHierarchy::new(&MachineConfig::skylake_sp_24()), &space);
+        let mut bus = MemBus::new(
+            MemoryHierarchy::new(&MachineConfig::skylake_sp_24()),
+            &space,
+        );
         bus.dispatch_blocking(Cycles(0), 3);
     }
 
     #[test]
     fn mem_bus_drains_and_translates() {
         let space = AddressSpace::new();
-        let bus = MemBus::new(MemoryHierarchy::new(&MachineConfig::skylake_sp_24()), &space);
+        let bus = MemBus::new(
+            MemoryHierarchy::new(&MachineConfig::skylake_sp_24()),
+            &space,
+        );
         assert_eq!(bus.drain_time(), Cycles::ZERO);
         assert!(bus.translate(VirtAddr(0x1000)).is_err());
     }

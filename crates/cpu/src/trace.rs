@@ -71,7 +71,11 @@ impl Uop {
     pub fn uses_sq(&self) -> bool {
         matches!(
             self,
-            Uop::Store { .. } | Uop::External { blocking: false, .. }
+            Uop::Store { .. }
+                | Uop::External {
+                    blocking: false,
+                    ..
+                }
         )
     }
 }

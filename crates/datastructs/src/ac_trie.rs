@@ -204,8 +204,9 @@ impl QueryDs for AcTrie {
         let mut acc = 0u64;
         for &b in key {
             loop {
-                let count =
-                    mem.read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF)).expect("node") as u64;
+                let count = mem
+                    .read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF))
+                    .expect("node") as u64;
                 let mut child = 0u64;
                 for j in 0..count {
                     let ea = cur + NODE_CHILDREN_OFF + j * CHILD_ENTRY_BYTES;
@@ -250,8 +251,9 @@ impl QueryDs for AcTrie {
             loop {
                 // Load node header.
                 let node_load = trace.load(VirtAddr(cur), Some(cur_dep));
-                let count =
-                    mem.read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF)).expect("node") as u64;
+                let count = mem
+                    .read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF))
+                    .expect("node") as u64;
                 // Binary search over children: ~log2(n)+1 probes, each a load
                 // + compare + branch.
                 let mut child = 0u64;

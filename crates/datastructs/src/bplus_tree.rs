@@ -9,8 +9,7 @@
 use crate::baseline::{self, sites};
 use crate::QueryDs;
 use qei_core::firmware::btree::{
-    BTREE_TYPE, FANOUT, NODE_BYTES, NODE_COUNT_OFF, NODE_IS_LEAF_OFF, NODE_KEYS_OFF,
-    NODE_PTRS_OFF,
+    BTREE_TYPE, FANOUT, NODE_BYTES, NODE_COUNT_OFF, NODE_IS_LEAF_OFF, NODE_KEYS_OFF, NODE_PTRS_OFF,
 };
 use qei_core::header::{DsType, Header, HEADER_BYTES};
 use qei_cpu::Trace;
@@ -192,10 +191,8 @@ impl QueryDs for BPlusTree {
                 trace.branch(sites::WALK_LOOP, go_on, Some(cmp));
                 if is_leaf {
                     if k == query {
-                        let v = trace.load(
-                            VirtAddr(node + NODE_PTRS_OFF + (i as u64) * 8),
-                            Some(n1),
-                        );
+                        let v =
+                            trace.load(VirtAddr(node + NODE_PTRS_OFF + (i as u64) * 8), Some(n1));
                         trace.alu1(Some(v));
                         return self.node_ptr(mem, node, i);
                     }

@@ -75,7 +75,11 @@ impl Bst {
                 let ck_bytes = mem.read_vec(VirtAddr(cur + NODE_KEY_OFF), 8)?;
                 let ck = u64::from_be_bytes(ck_bytes.try_into().expect("8 bytes"));
                 assert_ne!(ck, key, "duplicate key");
-                let branch = if key < ck { NODE_LEFT_OFF } else { NODE_RIGHT_OFF };
+                let branch = if key < ck {
+                    NODE_LEFT_OFF
+                } else {
+                    NODE_RIGHT_OFF
+                };
                 let child = mem.read_u64(VirtAddr(cur + branch))?;
                 if child == 0 {
                     mem.write_u64(VirtAddr(cur + branch), node.0)?;
@@ -120,7 +124,11 @@ impl QueryDs for Bst {
             if ck == key {
                 return baseline::guest_u64(mem, VirtAddr(cur + NODE_VALUE_OFF));
             }
-            let branch = if key < ck { NODE_LEFT_OFF } else { NODE_RIGHT_OFF };
+            let branch = if key < ck {
+                NODE_LEFT_OFF
+            } else {
+                NODE_RIGHT_OFF
+            };
             cur = baseline::guest_u64(mem, VirtAddr(cur + branch));
         }
         0
@@ -155,7 +163,11 @@ impl QueryDs for Bst {
             // random queries — the frontend pressure the paper profiles.
             let go_left = key < ck;
             trace.branch(sites::WALK_LOOP, go_left, Some(cmp));
-            let branch = if go_left { NODE_LEFT_OFF } else { NODE_RIGHT_OFF };
+            let branch = if go_left {
+                NODE_LEFT_OFF
+            } else {
+                NODE_RIGHT_OFF
+            };
             cur = baseline::guest_u64(mem, VirtAddr(cur + branch));
             let advance = trace.alu1(Some(node_load));
             let _ = advance;
@@ -169,14 +181,13 @@ impl QueryDs for Bst {
 mod tests {
     use super::*;
     use crate::stage_key;
+    use qei_config::SimRng;
     use qei_core::{run_query, FirmwareStore};
-    use rand::rngs::StdRng;
-    use rand::{seq::SliceRandom, SeedableRng};
 
     fn sample(mem: &mut GuestMem, n: u64) -> Bst {
         let mut t = Bst::new(mem).unwrap();
         let mut keys: Vec<u64> = (1..=n).map(|i| i * 37).collect();
-        keys.shuffle(&mut StdRng::seed_from_u64(17));
+        SimRng::seed_from_u64(17).shuffle(&mut keys);
         for k in keys {
             t.insert(mem, k, k + 1_000_000).unwrap();
         }

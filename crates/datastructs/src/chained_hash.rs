@@ -227,7 +227,8 @@ mod tests {
         // Tiny capacity forces long chains.
         let mut h = ChainedHash::new(&mut mem, 2, 8, 1).unwrap();
         for i in 0..50u64 {
-            h.insert(&mut mem, format!("k{i:07}").as_bytes(), i + 1).unwrap();
+            h.insert(&mut mem, format!("k{i:07}").as_bytes(), i + 1)
+                .unwrap();
         }
         for i in 0..50u64 {
             let k = format!("k{i:07}");

@@ -158,7 +158,8 @@ mod tests {
     fn sample(mem: &mut GuestMem) -> LinkedList {
         let mut l = LinkedList::new(mem, 8).unwrap();
         for i in 0..20u64 {
-            l.insert(mem, format!("k{i:07}").as_bytes(), 100 + i).unwrap();
+            l.insert(mem, format!("k{i:07}").as_bytes(), 100 + i)
+                .unwrap();
         }
         l
     }

@@ -125,7 +125,10 @@ impl LpmTrie {
             if self.mirror[cur].next_hop != 0 {
                 best = self.mirror[cur].next_hop;
             }
-            match self.mirror[cur].children.binary_search_by_key(&b, |&(c, _)| c) {
+            match self.mirror[cur]
+                .children
+                .binary_search_by_key(&b, |&(c, _)| c)
+            {
                 Ok(pos) => cur = self.mirror[cur].children[pos].1,
                 Err(_) => return best,
             }
@@ -150,8 +153,9 @@ impl QueryDs for LpmTrie {
             if hop != 0 {
                 best = hop;
             }
-            let count =
-                mem.read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF)).expect("node") as u64;
+            let count = mem
+                .read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF))
+                .expect("node") as u64;
             let mut child = 0u64;
             for j in 0..count {
                 let ea = cur + NODE_CHILDREN_OFF + j * CHILD_ENTRY_BYTES;
@@ -188,8 +192,9 @@ impl QueryDs for LpmTrie {
             if hop != 0 {
                 best = hop;
             }
-            let count =
-                mem.read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF)).expect("node") as u64;
+            let count = mem
+                .read_u16(VirtAddr(cur + NODE_CHILD_COUNT_OFF))
+                .expect("node") as u64;
             // Binary search of the sorted child array.
             let (mut lo, mut hi) = (0u64, count);
             let mut child = 0u64;
@@ -279,7 +284,11 @@ mod tests {
             [192, 168, 1, 1],
             [8, 8, 8, 8],
         ] {
-            assert_eq!(t.query_software(&mem, &addr), t.lookup_host(&addr), "{addr:?}");
+            assert_eq!(
+                t.query_software(&mem, &addr),
+                t.lookup_host(&addr),
+                "{addr:?}"
+            );
         }
     }
 

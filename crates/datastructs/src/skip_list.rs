@@ -8,21 +8,20 @@
 
 use crate::baseline::{self, sites};
 use crate::QueryDs;
+use qei_config::SimRng;
 use qei_core::firmware::skip_list::{
     node_bytes, NODE_KEY_PTR_OFF, NODE_LEVELS_OFF, NODE_NEXT_BASE_OFF, NODE_VALUE_OFF,
 };
 use qei_core::header::{DsType, Header, HEADER_BYTES};
 use qei_cpu::Trace;
 use qei_mem::{GuestMem, MemError, VirtAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A skip list living in guest memory.
 #[derive(Debug)]
 pub struct SkipList {
     header_addr: VirtAddr,
     header: Header,
-    rng: StdRng,
+    rng: SimRng,
     len: usize,
 }
 
@@ -62,7 +61,7 @@ impl SkipList {
         Ok(SkipList {
             header_addr,
             header,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             len: 0,
         })
     }
@@ -101,8 +100,7 @@ impl SkipList {
         let mut cur = head;
         for level in (0..max_level).rev() {
             loop {
-                let nxt =
-                    baseline::guest_u64(mem, VirtAddr(cur + NODE_NEXT_BASE_OFF + 8 * level));
+                let nxt = baseline::guest_u64(mem, VirtAddr(cur + NODE_NEXT_BASE_OFF + 8 * level));
                 if nxt == 0 {
                     break;
                 }
@@ -154,8 +152,7 @@ impl QueryDs for SkipList {
         let mut cur = self.header.ds_ptr.0;
         for level in (0..self.header.aux0).rev() {
             loop {
-                let nxt =
-                    baseline::guest_u64(mem, VirtAddr(cur + NODE_NEXT_BASE_OFF + 8 * level));
+                let nxt = baseline::guest_u64(mem, VirtAddr(cur + NODE_NEXT_BASE_OFF + 8 * level));
                 if nxt == 0 {
                     break;
                 }
@@ -203,14 +200,8 @@ impl QueryDs for SkipList {
                 trace.branch(sites::MATCH + 8, true, Some(decode));
                 let kp = baseline::guest_u64(mem, VirtAddr(nxt + NODE_KEY_PTR_OFF));
                 let nk = mem.read_vec(VirtAddr(kp), key_len).expect("key readable");
-                let cmp = baseline::emit_memcmp(
-                    trace,
-                    VirtAddr(kp),
-                    Some(node_load),
-                    &nk,
-                    &key,
-                    key_len,
-                );
+                let cmp =
+                    baseline::emit_memcmp(trace, VirtAddr(kp), Some(node_load), &nk, &key, key_len);
                 match nk.as_slice().cmp(&key[..]) {
                     std::cmp::Ordering::Less => {
                         trace.branch(sites::MATCH, false, Some(cmp));
@@ -244,11 +235,7 @@ mod tests {
         let mut s = SkipList::new(mem, 12, 16, 99).unwrap();
         // Insert in shuffled order to exercise linkage.
         let mut order: Vec<u64> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(5);
-        for i in (1..order.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
+        SimRng::seed_from_u64(5).shuffle(&mut order);
         for &i in &order {
             s.insert(mem, format!("memkey-{i:09}").as_bytes(), i + 1)
                 .unwrap();

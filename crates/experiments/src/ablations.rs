@@ -10,11 +10,9 @@
 //!   signature feature is pushing comparisons into the CHAs.
 
 use crate::render;
-use qei_config::{MachineConfig, Scheme};
-use qei_sim::System;
-use qei_workloads::jvm::JvmGc;
-use qei_workloads::rocksdb::RocksDbMem;
-use qei_workloads::Workload;
+use crate::suite::engine;
+use qei_config::Scheme;
+use qei_sim::{RunPlan, WorkloadKind, WorkloadSpec};
 
 /// Swept QST depths.
 pub const QST_SIZES: [u32; 5] = [2, 5, 10, 20, 40];
@@ -34,27 +32,47 @@ pub struct QstPoint {
     pub occupancy: f64,
 }
 
-fn jvm_system(seed: u64) -> (System, JvmGc) {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), seed);
-    let w = JvmGc::build(sys.guest_mut(), 30_000, 400, 21);
-    (sys, w)
+fn jvm_spec(guest_seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        guest_seed,
+        21,
+        WorkloadKind::JvmGc {
+            objects: 30_000,
+            queries: 400,
+        },
+    )
+}
+
+fn rocksdb_spec(guest_seed: u64, build_seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        guest_seed,
+        build_seed,
+        WorkloadKind::RocksDbMem {
+            items: 4_000,
+            queries: 250,
+        },
+    )
 }
 
 /// Sweeps QST depth under the Core-integrated scheme on the dense-query
 /// JVM workload (where the QST is the binding resource).
 pub fn qst_size_sweep() -> Vec<QstPoint> {
-    let (mut sys, w) = jvm_system(0xAB1);
-    let baseline = sys.run_baseline(&w);
+    let spec = jvm_spec(0xAB1);
+    let mut plans = vec![RunPlan::baseline(spec)];
+    plans.extend(
+        QST_SIZES
+            .iter()
+            .map(|&entries| RunPlan::qei(spec, Scheme::CoreIntegrated).with_qst_entries(entries)),
+    );
+    let reports = engine().run_all(&plans);
+    let baseline = &reports[0];
     QST_SIZES
         .iter()
-        .map(|&entries| {
-            sys.config_mut().qei.qst_entries = entries;
-            let r = sys.run_qei(&w, Scheme::CoreIntegrated, None);
-            QstPoint {
-                entries,
-                speedup: baseline.cycles as f64 / r.cycles as f64,
-                occupancy: r.qst_occupancy,
-            }
+        .zip(&reports[1..])
+        .map(|(&entries, r)| QstPoint {
+            entries,
+            speedup: baseline.cycles as f64 / r.cycles as f64,
+            occupancy: r.qst_occupancy,
         })
         .collect()
 }
@@ -62,29 +80,38 @@ pub fn qst_size_sweep() -> Vec<QstPoint> {
 /// Sweeps comparators per CHA (RocksDB: 100-byte out-of-line keys make the
 /// comparators the most exercised DPU element).
 pub fn comparator_sweep() -> Vec<(u32, f64)> {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xAB2);
-    let w = RocksDbMem::build(sys.guest_mut(), 4_000, 250, 22);
-    let baseline = sys.run_baseline(&w);
+    let spec = rocksdb_spec(0xAB2, 22);
+    let mut plans = vec![RunPlan::baseline(spec)];
+    plans.extend(
+        COMPARATOR_COUNTS
+            .iter()
+            .map(|&n| RunPlan::qei(spec, Scheme::ChaTlb).with_comparators_per_cha(n)),
+    );
+    let reports = engine().run_all(&plans);
+    let baseline = &reports[0];
     COMPARATOR_COUNTS
         .iter()
-        .map(|&n| {
-            sys.config_mut().qei.comparators_per_cha = n;
-            let r = sys.run_qei(&w, Scheme::ChaTlb, None);
-            (n, baseline.cycles as f64 / r.cycles as f64)
-        })
+        .zip(&reports[1..])
+        .map(|(&n, r)| (n, baseline.cycles as f64 / r.cycles as f64))
         .collect()
 }
 
 /// Sweeps the CHA-TLB scheme's dedicated TLB size; reports speedup and the
 /// accelerator-path TLB miss ratio.
 pub fn tlb_size_sweep() -> Vec<(u32, f64, f64)> {
-    let (mut sys, w) = jvm_system(0xAB3);
-    let baseline = sys.run_baseline(&w);
+    let spec = jvm_spec(0xAB3);
+    let mut plans = vec![RunPlan::baseline(spec)];
+    plans.extend(
+        TLB_SIZES
+            .iter()
+            .map(|&entries| RunPlan::qei(spec, Scheme::ChaTlb).with_accel_tlb_entries(entries)),
+    );
+    let reports = engine().run_all(&plans);
+    let baseline = &reports[0];
     TLB_SIZES
         .iter()
-        .map(|&entries| {
-            sys.config_mut().qei.accel_tlb_entries = entries;
-            let r = sys.run_qei(&w, Scheme::ChaTlb, None);
+        .zip(&reports[1..])
+        .map(|(&entries, r)| {
             let accel = r.accel.expect("accel stats");
             let miss_rate = if accel.tlb_lookups == 0 {
                 0.0
@@ -100,31 +127,29 @@ pub fn tlb_size_sweep() -> Vec<(u32, f64, f64)> {
 /// flavor: inline-key trees barely care; out-of-line 100-byte keys show the
 /// difference.
 pub fn compare_placement() -> Vec<(String, f64, f64)> {
-    let mut out = Vec::new();
-    {
-        let (mut sys, w) = jvm_system(0xAB4);
-        let baseline = sys.run_baseline(&w);
-        let near = sys.run_qei(&w, Scheme::CoreIntegrated, None);
-        let local = sys.run_qei_local_compare(&w, Scheme::CoreIntegrated);
-        out.push((
-            format!("{} (inline keys)", w.name()),
-            baseline.cycles as f64 / near.cycles as f64,
-            baseline.cycles as f64 / local.cycles as f64,
-        ));
+    let specs = [
+        (jvm_spec(0xAB4), "JVM (inline keys)"),
+        (rocksdb_spec(0xAB5, 23), "RocksDB (100 B out-of-line keys)"),
+    ];
+    let mut plans = Vec::new();
+    for (spec, _) in &specs {
+        plans.push(RunPlan::baseline(*spec));
+        plans.push(RunPlan::qei(*spec, Scheme::CoreIntegrated));
+        plans.push(RunPlan::local_compare(*spec, Scheme::CoreIntegrated));
     }
-    {
-        let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xAB5);
-        let w = RocksDbMem::build(sys.guest_mut(), 4_000, 250, 23);
-        let baseline = sys.run_baseline(&w);
-        let near = sys.run_qei(&w, Scheme::CoreIntegrated, None);
-        let local = sys.run_qei_local_compare(&w, Scheme::CoreIntegrated);
-        out.push((
-            format!("{} (100 B out-of-line keys)", w.name()),
-            baseline.cycles as f64 / near.cycles as f64,
-            baseline.cycles as f64 / local.cycles as f64,
-        ));
-    }
-    out
+    let reports = engine().run_all(&plans);
+    specs
+        .iter()
+        .zip(reports.chunks(3))
+        .map(|((_, label), chunk)| {
+            let (baseline, near, local) = (&chunk[0], &chunk[1], &chunk[2]);
+            (
+                (*label).to_owned(),
+                baseline.cycles as f64 / near.cycles as f64,
+                baseline.cycles as f64 / local.cycles as f64,
+            )
+        })
+        .collect()
 }
 
 /// Renders all ablations as text tables.
@@ -165,7 +190,11 @@ pub fn render() -> String {
     out.push('\n');
     out.push_str(&render::table(
         "Ablation — near-data vs local comparison (Core-integrated)",
-        &["workload", "near-data (CHA) speedup", "local (fetch+compare) speedup"],
+        &[
+            "workload",
+            "near-data (CHA) speedup",
+            "local (fetch+compare) speedup",
+        ],
         &compare_placement()
             .iter()
             .map(|(w, a, b)| vec![w.clone(), render::speedup(*a), render::speedup(*b)])
@@ -189,7 +218,10 @@ mod tests {
         // 10 -> 40 buys less than 2 -> 10 did.
         let low_gain = by(10).speedup / by(2).speedup;
         let high_gain = by(40).speedup / by(10).speedup;
-        assert!(high_gain < low_gain, "low {low_gain:.2} high {high_gain:.2}");
+        assert!(
+            high_gain < low_gain,
+            "low {low_gain:.2} high {high_gain:.2}"
+        );
         // Occupancy falls as depth grows past the useful point.
         assert!(by(40).occupancy < by(5).occupancy);
     }

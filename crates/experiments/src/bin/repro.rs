@@ -6,14 +6,19 @@
 //! repro all            # every experiment at paper scale
 //! repro fig7           # one experiment
 //! repro --quick all    # small datasets (smoke run)
+//! repro --serial all   # run every plan on one thread
+//! repro --jobs 4 all   # cap the plan-execution workers at 4
 //! ```
 
-use qei_experiments::{ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, suite, tab1, tab2, tab3};
+use qei_experiments::{
+    ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, suite, tab1, tab2, tab3,
+};
 use qei_experiments::{Scale, SuiteData};
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] <experiment|all>\n  experiments: {}",
+        "usage: repro [--quick] [--serial | --jobs N] <experiment|all>\n  experiments: {}",
         qei_experiments::ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -30,10 +35,23 @@ fn main() {
             true
         }
     });
+    if let Some(pos) = args.iter().position(|a| a == "--serial") {
+        args.remove(pos);
+        qei_sim::engine::set_default_threads(1);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        let jobs: usize = args[pos + 1].parse().unwrap_or_else(|_| usage());
+        args.drain(pos..=pos + 1);
+        qei_sim::engine::set_default_threads(jobs);
+    }
     if args.len() != 1 {
         usage();
     }
     let what = args[0].as_str();
+    let started = Instant::now();
 
     // Experiments that need the shared run matrix.
     let needs_suite = matches!(
@@ -109,4 +127,5 @@ fn main() {
     if !ran {
         usage();
     }
+    eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
 }

@@ -44,7 +44,12 @@ pub fn render(data: &SuiteData) -> String {
     let rows = rows(data);
     render::table(
         "Fig. 1 — Query-operation share of execution time (paper: 23%~44%) and top-down split",
-        &["workload", "query-time share", "ROI frontend-bound", "ROI backend-bound"],
+        &[
+            "workload",
+            "query-time share",
+            "ROI frontend-bound",
+            "ROI backend-bound",
+        ],
         &rows
             .iter()
             .map(|r| {

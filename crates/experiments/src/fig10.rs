@@ -8,9 +8,9 @@
 //! its latency advantage.
 
 use crate::render;
-use qei_config::{MachineConfig, Scheme};
-use qei_sim::System;
-use qei_workloads::dpdk::TupleSpace;
+use crate::suite::engine;
+use qei_config::Scheme;
+use qei_sim::{RunPlan, WorkloadKind, WorkloadSpec};
 
 /// Tuple counts swept (matching the paper).
 pub const TUPLE_COUNTS: [usize; 3] = [5, 10, 15];
@@ -51,29 +51,41 @@ impl Fig10Scale {
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep: per tuple count, one baseline plan plus one non-blocking
+/// plan per scheme, all through one parallel batch.
 pub fn rows(scale: Fig10Scale) -> Vec<Fig10Row> {
-    let mut out = Vec::new();
+    let mut plans = Vec::new();
     for tuples in TUPLE_COUNTS {
-        let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xF10 + tuples as u64);
-        let w = TupleSpace::build(
-            sys.guest_mut(),
-            tuples,
-            scale.flows_per_table,
-            scale.packets,
+        let spec = WorkloadSpec::new(
+            0xF10 + tuples as u64,
             9,
+            WorkloadKind::TupleSpace {
+                tuples,
+                flows_per_table: scale.flows_per_table,
+                packets: scale.packets,
+            },
         );
-        let baseline = sys.run_baseline(&w);
-        let mut speedups = Vec::new();
+        plans.push(RunPlan::baseline(spec));
         for scheme in Scheme::ALL {
             // The paper polls every 32 keys: 32 x tuple_count requests fly
             // in parallel between polls.
-            let r = sys.run_qei_nonblocking_batched(&w, scheme, None, 32 * tuples);
-            speedups.push((scheme, baseline.cycles as f64 / r.cycles as f64));
+            plans.push(RunPlan::qei_nonblocking(spec, scheme, 32 * tuples));
         }
-        out.push(Fig10Row { tuples, speedups });
     }
-    out
+    let reports = engine().run_all(&plans);
+    TUPLE_COUNTS
+        .iter()
+        .zip(reports.chunks(1 + Scheme::ALL.len()))
+        .map(|(&tuples, chunk)| {
+            let baseline = &chunk[0];
+            let speedups = Scheme::ALL
+                .iter()
+                .zip(&chunk[1..])
+                .map(|(&s, r)| (s, baseline.cycles as f64 / r.cycles as f64))
+                .collect();
+            Fig10Row { tuples, speedups }
+        })
+        .collect()
 }
 
 /// Renders the figure as a text table.
@@ -106,9 +118,7 @@ mod tests {
     fn speedup_grows_with_tuples_and_devices_recover() {
         let rows = rows(Fig10Scale::quick());
         assert_eq!(rows.len(), 3);
-        let get = |r: &Fig10Row, s: Scheme| {
-            r.speedups.iter().find(|(x, _)| *x == s).unwrap().1
-        };
+        let get = |r: &Fig10Row, s: Scheme| r.speedups.iter().find(|(x, _)| *x == s).unwrap().1;
         // Speedup at 15 tuples exceeds speedup at 5 for the parallel-friendly
         // schemes.
         for s in [Scheme::ChaTlb, Scheme::DeviceDirect] {

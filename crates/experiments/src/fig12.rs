@@ -38,14 +38,8 @@ pub fn rows(data: &SuiteData) -> Vec<Fig12Row> {
                 .map(|&s| {
                     let r = b.report(s);
                     let accel = r.accel.as_ref().expect("QEI run has accel stats");
-                    let qei_pj = qei_energy_per_query(
-                        &model,
-                        &r.run,
-                        &r.mem,
-                        accel,
-                        r.noc_bytes,
-                        r.queries,
-                    );
+                    let qei_pj =
+                        qei_energy_per_query(&model, &r.run, &r.mem, accel, r.noc_bytes, r.queries);
                     (s, qei_pj / base_pj)
                 })
                 .collect();
@@ -90,7 +84,12 @@ mod tests {
         let data = collect(Scale::Quick);
         let rows = rows(&data);
         for r in &rows {
-            assert!(r.baseline_pj > 100.0, "{}: baseline {:.0} pJ", r.workload, r.baseline_pj);
+            assert!(
+                r.baseline_pj > 100.0,
+                "{}: baseline {:.0} pJ",
+                r.workload,
+                r.baseline_pj
+            );
             for (s, frac) in &r.normalized {
                 assert!(
                     *frac < 0.6,
@@ -98,7 +97,11 @@ mod tests {
                     r.workload,
                     frac
                 );
-                assert!(*frac > 0.005, "{} {s}: {frac:.4} implausibly low", r.workload);
+                assert!(
+                    *frac > 0.005,
+                    "{} {s}: {frac:.4} implausibly low",
+                    r.workload
+                );
             }
         }
     }

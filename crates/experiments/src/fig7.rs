@@ -87,7 +87,11 @@ mod tests {
             let dev_ind = get(Scheme::DeviceIndirect);
             // CHA-TLB is the best (or statistically tied) scheme.
             for (_, v) in &r.speedups {
-                assert!(cha >= *v * 0.85, "{}: CHA-TLB {cha:.2} vs {v:.2}", r.workload);
+                assert!(
+                    cha >= *v * 0.85,
+                    "{}: CHA-TLB {cha:.2} vs {v:.2}",
+                    r.workload
+                );
             }
             // Core-integrated is competitive with CHA-TLB.
             assert!(

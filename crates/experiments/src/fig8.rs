@@ -7,8 +7,9 @@
 //! fastest.
 
 use crate::render;
-use crate::suite::{build_benches, Scale};
+use crate::suite::{engine, suite_specs, Scale};
 use qei_config::Scheme;
+use qei_sim::RunPlan;
 
 /// The swept interface latencies (cycles), matching the paper's axis.
 pub const LATENCIES: [u64; 6] = [50, 100, 250, 500, 1000, 2000];
@@ -22,24 +23,33 @@ pub struct Fig8Row {
     pub points: Vec<(u64, f64)>,
 }
 
-/// Runs the sweep at the given scale.
+/// Runs the sweep at the given scale. Per workload: one baseline plan plus
+/// one Device-indirect plan per latency, all through one parallel batch.
 pub fn rows(scale: Scale) -> Vec<Fig8Row> {
-    let mut out = Vec::new();
-    for mut bench in build_benches(scale) {
-        let baseline = bench.sys.run_baseline(bench.workload.as_ref());
-        let mut points = Vec::new();
+    let specs = suite_specs(scale);
+    let mut plans = Vec::new();
+    for spec in &specs {
+        plans.push(RunPlan::baseline(*spec));
         for lat in LATENCIES {
-            let r = bench
-                .sys
-                .run_qei(bench.workload.as_ref(), Scheme::DeviceIndirect, Some(lat));
-            points.push((lat, baseline.cycles as f64 / r.cycles as f64));
+            plans.push(RunPlan::qei(*spec, Scheme::DeviceIndirect).with_device_latency(lat));
         }
-        out.push(Fig8Row {
-            workload: baseline.workload,
-            points,
-        });
     }
-    out
+    let reports = engine().run_all(&plans);
+    reports
+        .chunks(1 + LATENCIES.len())
+        .map(|chunk| {
+            let baseline = &chunk[0];
+            let points = LATENCIES
+                .iter()
+                .zip(&chunk[1..])
+                .map(|(&lat, r)| (lat, baseline.cycles as f64 / r.cycles as f64))
+                .collect();
+            Fig8Row {
+                workload: baseline.workload,
+                points,
+            }
+        })
+        .collect()
 }
 
 /// Renders the figure as a text table.

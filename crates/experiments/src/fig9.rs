@@ -86,13 +86,7 @@ mod tests {
         }
         // Core-integrated is at the same level as CHA-based (paper).
         for row in &rows {
-            let get = |s: Scheme| {
-                row.improvements
-                    .iter()
-                    .find(|(x, _)| *x == s)
-                    .unwrap()
-                    .1
-            };
+            let get = |s: Scheme| row.improvements.iter().find(|(x, _)| *x == s).unwrap().1;
             let core = get(Scheme::CoreIntegrated);
             let cha = get(Scheme::ChaTlb);
             if cha > 0.05 && core > 0.0 {

@@ -23,10 +23,20 @@ pub mod tab1;
 pub mod tab2;
 pub mod tab3;
 
-pub use suite::{Bench, BenchResult, Scale, SuiteData};
+pub use suite::{BenchResult, Scale, SuiteData};
 
 /// All experiment identifiers, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "fig1", "tab1", "tab2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab3", "occupancy",
+    "fig1",
+    "tab1",
+    "tab2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "tab3",
+    "occupancy",
     "ablations",
 ];

@@ -1,14 +1,9 @@
-//! Shared experiment infrastructure: workload construction at two scales and
-//! the full (workload × scheme) run matrix most figures consume.
+//! Shared experiment infrastructure: the five paper workloads as
+//! [`WorkloadSpec`]s at two scales, and the full (workload × scheme) plan
+//! grid most figures consume.
 
-use qei_config::{MachineConfig, Scheme};
-use qei_sim::{RunReport, System};
-use qei_workloads::dpdk::DpdkFib;
-use qei_workloads::flann::FlannLsh;
-use qei_workloads::jvm::JvmGc;
-use qei_workloads::rocksdb::RocksDbMem;
-use qei_workloads::snort::SnortAc;
-use qei_workloads::Workload;
+use qei_config::Scheme;
+use qei_sim::{Engine, RunPlan, RunReport, WorkloadKind, WorkloadSpec};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,22 +14,6 @@ pub enum Scale {
     /// (the paper's premise) but LLC-resident, with enough queries for
     /// steady-state measurement.
     Paper,
-}
-
-/// One constructed workload plus the system (guest) it lives in.
-pub struct Bench {
-    /// The owning system.
-    pub sys: System,
-    /// The workload.
-    pub workload: Box<dyn Workload>,
-}
-
-impl std::fmt::Debug for Bench {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Bench")
-            .field("workload", &self.workload.name())
-            .finish()
-    }
 }
 
 /// The measured matrix for one workload.
@@ -55,100 +34,120 @@ pub struct SuiteData {
     pub benches: Vec<BenchResult>,
 }
 
-fn config() -> MachineConfig {
-    MachineConfig::skylake_sp_24()
+/// The engine every experiment runs on: the paper's Table II machine.
+pub fn engine() -> Engine {
+    Engine::paper()
 }
 
-/// Builds the five paper workloads at the given scale.
-pub fn build_benches(scale: Scale) -> Vec<Bench> {
-    let mut out = Vec::new();
-
+/// The five paper workloads at the given scale, paper order.
+pub fn suite_specs(scale: Scale) -> Vec<WorkloadSpec> {
     // DPDK: 16 B keys; Paper scale sized past the 1 MB L2.
-    {
-        let mut sys = System::new(config(), 0xD1);
-        let (flows, queries) = match scale {
-            Scale::Quick => (2_000, 200),
-            Scale::Paper => (64_000, 1_500),
-        };
-        let w = DpdkFib::build(sys.guest_mut(), flows, queries, 1);
-        out.push(Bench {
-            sys,
-            workload: Box::new(w),
-        });
-    }
+    let (flows, dpdk_queries) = match scale {
+        Scale::Quick => (2_000, 200),
+        Scale::Paper => (64_000, 1_500),
+    };
     // JVM: object tree.
-    {
-        let mut sys = System::new(config(), 0xD2);
-        let (objects, queries) = match scale {
-            Scale::Quick => (20_000, 300),
-            Scale::Paper => (150_000, 1_500),
-        };
-        let w = JvmGc::build(sys.guest_mut(), objects, queries, 2);
-        out.push(Bench {
-            sys,
-            workload: Box::new(w),
-        });
-    }
+    let (objects, jvm_queries) = match scale {
+        Scale::Quick => (20_000, 300),
+        Scale::Paper => (150_000, 1_500),
+    };
     // RocksDB: 10 k items as in the paper; 100 B keys.
-    {
-        let mut sys = System::new(config(), 0xD3);
-        let (items, queries) = match scale {
-            Scale::Quick => (2_000, 150),
-            Scale::Paper => (10_000, 800),
-        };
-        let w = RocksDbMem::build(sys.guest_mut(), items, queries, 3);
-        out.push(Bench {
-            sys,
-            workload: Box::new(w),
-        });
-    }
+    let (items, rocks_queries) = match scale {
+        Scale::Quick => (2_000, 150),
+        Scale::Paper => (10_000, 800),
+    };
     // Snort: keyword dictionary + 1 KB scans.
-    {
-        let mut sys = System::new(config(), 0xD4);
-        let (keywords, scans, text) = match scale {
-            Scale::Quick => (400, 6, 256),
-            Scale::Paper => (6_000, 25, 1_024),
-        };
-        let w = SnortAc::build(sys.guest_mut(), keywords, scans, text, 4);
-        out.push(Bench {
-            sys,
-            workload: Box::new(w),
-        });
-    }
+    let (keywords, scans, text_len) = match scale {
+        Scale::Quick => (400, 6, 256),
+        Scale::Paper => (6_000, 25, 1_024),
+    };
     // FLANN: 12 LSH tables, 20 B keys.
-    {
-        let mut sys = System::new(config(), 0xD5);
-        let (tables, items, searches) = match scale {
-            Scale::Quick => (4, 2_000, 20),
-            Scale::Paper => (12, 25_000, 120),
-        };
-        let w = FlannLsh::build(sys.guest_mut(), tables, items, searches, 5);
-        out.push(Bench {
-            sys,
-            workload: Box::new(w),
-        });
-    }
-    out
+    let (tables, flann_items, searches) = match scale {
+        Scale::Quick => (4, 2_000, 20),
+        Scale::Paper => (12, 25_000, 120),
+    };
+    vec![
+        WorkloadSpec::new(
+            0xD1,
+            1,
+            WorkloadKind::DpdkFib {
+                flows,
+                queries: dpdk_queries,
+            },
+        ),
+        WorkloadSpec::new(
+            0xD2,
+            2,
+            WorkloadKind::JvmGc {
+                objects,
+                queries: jvm_queries,
+            },
+        ),
+        WorkloadSpec::new(
+            0xD3,
+            3,
+            WorkloadKind::RocksDbMem {
+                items,
+                queries: rocks_queries,
+            },
+        ),
+        WorkloadSpec::new(
+            0xD4,
+            4,
+            WorkloadKind::SnortAc {
+                keywords,
+                scans,
+                text_len,
+            },
+        ),
+        WorkloadSpec::new(
+            0xD5,
+            5,
+            WorkloadKind::FlannLsh {
+                tables,
+                items: flann_items,
+                searches,
+            },
+        ),
+    ]
 }
 
-/// Runs the full baseline + five-scheme matrix at the given scale.
-pub fn collect(scale: Scale) -> SuiteData {
-    let benches = build_benches(scale);
-    let mut results = Vec::new();
-    for mut bench in benches {
-        let baseline = bench.sys.run_baseline(bench.workload.as_ref());
-        let mut per_scheme = Vec::new();
+/// The full plan grid: per workload, the software baseline followed by one
+/// blocking-QEI plan per scheme.
+pub fn suite_plans(scale: Scale) -> Vec<RunPlan> {
+    let mut plans = Vec::new();
+    for spec in suite_specs(scale) {
+        plans.push(RunPlan::baseline(spec));
         for scheme in Scheme::ALL {
-            let report = bench.sys.run_qei(bench.workload.as_ref(), scheme, None);
-            per_scheme.push((scheme, report));
+            plans.push(RunPlan::qei(spec, scheme));
         }
-        results.push(BenchResult {
-            name: baseline.workload,
-            baseline,
-            per_scheme,
-        });
     }
-    SuiteData { benches: results }
+    plans
+}
+
+/// Runs the full baseline + five-scheme matrix at the given scale. All
+/// plans execute through one parallel [`Engine::run_all`] batch.
+pub fn collect(scale: Scale) -> SuiteData {
+    let plans = suite_plans(scale);
+    let reports = engine().run_all(&plans);
+    let per_workload = 1 + Scheme::ALL.len();
+    let benches = reports
+        .chunks(per_workload)
+        .map(|chunk| {
+            let baseline = chunk[0].clone();
+            let per_scheme = Scheme::ALL
+                .iter()
+                .zip(&chunk[1..])
+                .map(|(&s, r)| (s, r.clone()))
+                .collect();
+            BenchResult {
+                name: baseline.workload,
+                baseline,
+                per_scheme,
+            }
+        })
+        .collect();
+    SuiteData { benches }
 }
 
 impl BenchResult {
@@ -179,11 +178,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_suite_builds_five_workloads() {
-        let benches = build_benches(Scale::Quick);
-        assert_eq!(benches.len(), 5);
-        let names: Vec<&str> = benches.iter().map(|b| b.workload.name()).collect();
-        assert_eq!(names, ["DPDK", "JVM", "RocksDB", "Snort", "FLANN"]);
+    fn quick_suite_has_five_workloads_in_paper_order() {
+        let plans = suite_plans(Scale::Quick);
+        assert_eq!(plans.len(), 5 * (1 + Scheme::ALL.len()));
+        let reports: Vec<_> = suite_specs(Scale::Quick)
+            .iter()
+            .map(|s| engine().run(&RunPlan::baseline(*s)).workload)
+            .collect();
+        assert_eq!(reports, ["DPDK", "JVM", "RocksDB", "Snort", "FLANN"]);
     }
 
     #[test]

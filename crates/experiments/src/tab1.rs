@@ -22,7 +22,12 @@ pub fn render() -> String {
                     "Shared L2-TLB".to_owned()
                 },
                 if s.creates_hotspot() { "Yes" } else { "No" }.to_owned(),
-                if s.pollutes_private_caches() { "Yes" } else { "No" }.to_owned(),
+                if s.pollutes_private_caches() {
+                    "Yes"
+                } else {
+                    "No"
+                }
+                .to_owned(),
                 p.scalability.to_string(),
             ]
         })

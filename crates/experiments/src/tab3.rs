@@ -83,7 +83,12 @@ mod tests {
             let area_err = (r.area_mm2 - r.paper_area_mm2).abs() / r.paper_area_mm2;
             let power_err = (r.static_mw - r.paper_static_mw).abs() / r.paper_static_mw;
             assert!(area_err < 0.4, "{}: area error {:.2}", r.config, area_err);
-            assert!(power_err < 0.6, "{}: power error {:.2}", r.config, power_err);
+            assert!(
+                power_err < 0.6,
+                "{}: power error {:.2}",
+                r.config,
+                power_err
+            );
         }
     }
 

@@ -7,9 +7,7 @@
 //! physical frames inside fixed-size windows, so consecutive `alloc` calls
 //! return scattered frame numbers while staying reproducible for a seed.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use qei_config::SimRng;
 
 /// Frames shuffled per window. Large enough that virtually adjacent pages
 /// essentially never land physically adjacent.
@@ -18,7 +16,7 @@ const WINDOW_FRAMES: usize = 512;
 /// A deterministic, fragmenting physical frame allocator.
 #[derive(Debug)]
 pub struct FrameAlloc {
-    rng: StdRng,
+    rng: SimRng,
     next_window_base: u64,
     pool: Vec<u64>,
     allocated: u64,
@@ -28,7 +26,7 @@ impl FrameAlloc {
     /// Creates an allocator whose shuffle order is derived from `seed`.
     pub fn new(seed: u64) -> Self {
         FrameAlloc {
-            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            rng: SimRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             // Frame 0 is reserved so that physical address 0 is never handed
             // out (keeps "null" unambiguous even post-translation).
             next_window_base: 1,
@@ -43,7 +41,7 @@ impl FrameAlloc {
             let base = self.next_window_base;
             self.next_window_base += WINDOW_FRAMES as u64;
             self.pool.extend(base..base + WINDOW_FRAMES as u64);
-            self.pool.shuffle(&mut self.rng);
+            self.rng.shuffle(&mut self.pool);
         }
         self.allocated += 1;
         self.pool.pop().expect("pool refilled above")
@@ -101,10 +99,7 @@ mod tests {
     fn consecutive_allocs_are_fragmented() {
         let mut fa = FrameAlloc::new(3);
         let frames: Vec<u64> = (0..256).map(|_| fa.alloc()).collect();
-        let adjacent = frames
-            .windows(2)
-            .filter(|w| w[1] == w[0] + 1)
-            .count();
+        let adjacent = frames.windows(2).filter(|w| w[1] == w[0] + 1).count();
         // A shuffled pool yields almost no physically adjacent pairs.
         assert!(adjacent < 8, "too many adjacent frames: {adjacent}");
     }

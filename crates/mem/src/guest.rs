@@ -267,7 +267,9 @@ mod tests {
         let mut m = GuestMem::new(2);
         // Allocate enough to straddle several pages.
         let p = m.alloc(3 * PAGE_BYTES, 4096).unwrap();
-        let data: Vec<u8> = (0..2 * PAGE_BYTES as usize).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..2 * PAGE_BYTES as usize)
+            .map(|i| (i % 251) as u8)
+            .collect();
         let start = p + (PAGE_BYTES / 2);
         m.write(start, &data).unwrap();
         assert_eq!(m.read_vec(start, data.len()).unwrap(), data);

@@ -36,7 +36,10 @@ impl Tlb {
     /// number of sets.
     pub fn new(params: TlbParams) -> Self {
         assert!(params.entries > 0 && params.ways > 0);
-        assert!(params.entries % params.ways == 0, "entries must divide by ways");
+        assert!(
+            params.entries.is_multiple_of(params.ways),
+            "entries must divide by ways"
+        );
         let n_sets = (params.entries / params.ways) as usize;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Tlb {

@@ -33,7 +33,7 @@ struct Link {
 }
 
 /// Aggregate NoC statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NocStats {
     /// Total messages routed.
     pub messages: u64,
@@ -41,6 +41,16 @@ pub struct NocStats {
     pub bytes: u64,
     /// Total hop count across all messages.
     pub hops: u64,
+}
+
+impl NocStats {
+    /// Exports the NoC counters into the run's central registry under the
+    /// `noc` group.
+    pub fn export_stats(&self, reg: &mut qei_config::StatsRegistry) {
+        reg.set("noc", "messages", self.messages);
+        reg.set("noc", "bytes", self.bytes);
+        reg.set("noc", "hops", self.hops);
+    }
 }
 
 /// The mesh NoC timing model.

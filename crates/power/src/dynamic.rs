@@ -143,12 +143,8 @@ mod tests {
             llc_accesses: 2 * queries,
             dram_accesses: 0,
         };
-        let base = software_energy_per_query(
-            &m,
-            &sw_run(150 * queries, 10 * queries),
-            &base_mem,
-            queries,
-        );
+        let base =
+            software_energy_per_query(&m, &sw_run(150 * queries, 10 * queries), &base_mem, queries);
 
         let qei_mem = MemStats {
             l1_accesses: 0,

@@ -1,15 +1,20 @@
 //! Diagnostic: per-scheme cycle/latency/occupancy breakdown on the JVM
 //! workload. Used when calibrating the timing model.
 
-use qei_config::{MachineConfig, Scheme};
-use qei_sim::System;
-use qei_workloads::jvm::JvmGc;
-use qei_workloads::Workload;
+use qei_config::Scheme;
+use qei_sim::{Engine, RunPlan, WorkloadKind, WorkloadSpec};
 
 fn main() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 7);
-    let w = JvmGc::build(sys.guest_mut(), 20_000, 300, 2);
-    let base = sys.run_baseline(&w);
+    let spec = WorkloadSpec::new(
+        7,
+        2,
+        WorkloadKind::JvmGc {
+            objects: 20_000,
+            queries: 300,
+        },
+    );
+    let engine = Engine::paper();
+    let base = engine.run(&RunPlan::baseline(spec));
     println!(
         "baseline: cycles={} cyc/q={:.0} uops/q={:.0} ipc={:.2} fe={:.2} be={:.2} mean_load={:.1}",
         base.cycles,
@@ -20,8 +25,8 @@ fn main() {
         base.run.backend_bound(),
         base.run.mean_load_latency()
     );
-    for scheme in Scheme::ALL {
-        let q = sys.run_qei(&w, scheme, None);
+    let plans: Vec<RunPlan> = Scheme::ALL.iter().map(|&s| RunPlan::qei(spec, s)).collect();
+    for (scheme, q) in Scheme::ALL.iter().zip(engine.run_all(&plans)) {
         let a = q.accel.unwrap();
         println!(
             "{:16} cycles={} cyc/q={:.0} speedup={:.2} occ={:.2} accel_lat={:.0} memops/q={:.1} tlbmiss={} waits={}",
@@ -36,5 +41,4 @@ fn main() {
             0
         );
     }
-    let _ = w.jobs();
 }

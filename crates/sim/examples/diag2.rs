@@ -1,14 +1,19 @@
 //! Diagnostic: RocksDB-specific breakdown (the core-bound workload).
 
-use qei_config::{MachineConfig, Scheme};
-use qei_sim::System;
-use qei_workloads::rocksdb::RocksDbMem;
-use qei_workloads::Workload;
+use qei_config::Scheme;
+use qei_sim::{Engine, RunPlan, WorkloadKind, WorkloadSpec};
 
 fn main() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 0xD3);
-    let w = RocksDbMem::build(sys.guest_mut(), 10_000, 400, 3);
-    let base = sys.run_baseline(&w);
+    let spec = WorkloadSpec::new(
+        0xD3,
+        3,
+        WorkloadKind::RocksDbMem {
+            items: 10_000,
+            queries: 400,
+        },
+    );
+    let engine = Engine::paper();
+    let base = engine.run(&RunPlan::baseline(spec));
     println!(
         "baseline: cyc/q={:.0} uops/q={:.0} ipc={:.2} fe={:.2} be={:.2} load_lat={:.1} loads/q={:.1}",
         base.cycles_per_query(),
@@ -19,8 +24,9 @@ fn main() {
         base.run.mean_load_latency(),
         base.run.loads as f64 / base.queries as f64,
     );
-    for scheme in [Scheme::CoreIntegrated, Scheme::ChaTlb] {
-        let q = sys.run_qei(&w, scheme, None);
+    let schemes = [Scheme::CoreIntegrated, Scheme::ChaTlb];
+    let plans: Vec<RunPlan> = schemes.iter().map(|&s| RunPlan::qei(spec, s)).collect();
+    for (scheme, q) in schemes.iter().zip(engine.run_all(&plans)) {
         let a = q.accel.unwrap();
         println!(
             "{:16} cyc/q={:.0} speedup={:.2} occ={:.2} accel_lat={:.0} memops/q={:.1} cmp/q={:.1} tlbmiss/q={:.2}",

@@ -87,9 +87,9 @@ impl<'a> QeiBus<'a> {
                 wire == exp || (exp == 0 && wire == 1)
             })
         } else {
-            self.blocking_results.iter().all(|(token, res)| {
-                matches!(res, Ok(v) if *v == expected[*token as usize])
-            })
+            self.blocking_results
+                .iter()
+                .all(|(token, res)| matches!(res, Ok(v) if *v == expected[*token as usize]))
         }
     }
 }
@@ -146,13 +146,12 @@ mod tests {
     use qei_config::{MachineConfig, Scheme};
     use qei_datastructs::{stage_key, LinkedList, QueryDs};
 
-    fn setup(
-        guest: &mut GuestMem,
-    ) -> (MachineConfig, Vec<QueryJob>, Vec<u64>, VirtAddr) {
+    fn setup(guest: &mut GuestMem) -> (MachineConfig, Vec<QueryJob>, Vec<u64>, VirtAddr) {
         let config = MachineConfig::skylake_sp_24();
         let mut list = LinkedList::new(guest, 8).unwrap();
         for i in 0..10u64 {
-            list.insert(guest, format!("k{i:07}").as_bytes(), 100 + i).unwrap();
+            list.insert(guest, format!("k{i:07}").as_bytes(), 100 + i)
+                .unwrap();
         }
         let mut jobs = Vec::new();
         let mut expected = Vec::new();

@@ -1,0 +1,650 @@
+//! The run pipeline: declarative [`RunPlan`]s executed by an [`Engine`].
+//!
+//! A plan says *what* to measure — which workload to build (from seeds, so
+//! the run is reproducible and self-contained), how to execute its ROI
+//! ([`RunMode`]), under which integration [`Scheme`], and with which
+//! machine-configuration overrides ([`ConfigOverrides`]). The engine owns
+//! the base [`MachineConfig`] and turns plans into [`RunReport`]s:
+//!
+//! * [`Engine::run`] — one plan;
+//! * [`Engine::run_all`] — a list of independent plans, executed in
+//!   parallel with `std::thread::scope`, results in plan order;
+//! * [`Engine::run_workload`] — an ad-hoc, already-built workload (for
+//!   examples and benches that construct their own data structures).
+//!
+//! Every plan rebuilds its own [`System`] and workload from the seeds it
+//! carries, so plans share no state: running them serially or in parallel,
+//! in any order, produces byte-identical reports.
+
+use crate::report::{QeiRunData, RunReport};
+use crate::{build_qei_trace_blocking, build_qei_trace_nonblocking, QeiBus, System, NB_BATCH};
+use qei_cache::MemoryHierarchy;
+use qei_config::{Cycles, MachineConfig, Scheme};
+use qei_core::QeiAccelerator;
+use qei_cpu::{CoreModel, MemBus, Trace};
+use qei_workloads::dpdk::{DpdkFib, TupleSpace};
+use qei_workloads::flann::FlannLsh;
+use qei_workloads::jvm::JvmGc;
+use qei_workloads::rocksdb::RocksDbMem;
+use qei_workloads::snort::SnortAc;
+use qei_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide default worker count for newly-created engines.
+/// 0 = one worker per available core.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the default worker count every subsequently-created [`Engine`]
+/// uses for [`Engine::run_all`] (0 = one per available core, 1 = serial).
+/// Individual engines can still override with [`Engine::with_threads`].
+/// The `repro` binary's `--jobs`/`--serial` flags call this.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::SeqCst);
+}
+
+/// How a plan executes the workload's ROI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// The unmodified software routines.
+    Baseline,
+    /// ROI rewritten with blocking `QUERY_B` instructions.
+    QeiBlocking,
+    /// `QUERY_NB` batches polled with `SNAPSHOT_READ`-style loads.
+    QeiNonblocking {
+        /// Jobs issued between polls.
+        batch: usize,
+    },
+    /// Blocking QEI with the near-data comparison path disabled: lines are
+    /// fetched to the DPU and compared locally (the compare-placement
+    /// ablation).
+    LocalCompareAblation,
+}
+
+impl RunMode {
+    /// Non-blocking mode at the paper's default poll interval
+    /// ([`NB_BATCH`] keys).
+    pub fn nonblocking_default() -> Self {
+        RunMode::QeiNonblocking { batch: NB_BATCH }
+    }
+
+    /// Short machine-readable label (stable across runs; lands in the
+    /// stats registry).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunMode::Baseline => "baseline",
+            RunMode::QeiBlocking => "qei-blocking",
+            RunMode::QeiNonblocking { .. } => "qei-nonblocking",
+            RunMode::LocalCompareAblation => "qei-local-compare",
+        }
+    }
+
+    /// Whether this mode drives the accelerator at all.
+    pub fn uses_qei(&self) -> bool {
+        !matches!(self, RunMode::Baseline)
+    }
+}
+
+impl std::fmt::Display for RunMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunMode::QeiNonblocking { batch } => write!(f, "qei-nonblocking(batch={batch})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// Which paper workload a plan builds, with its dataset sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// DPDK L3 forwarding table (cuckoo hash, 16 B keys).
+    DpdkFib {
+        /// Flow-table entries.
+        flows: u64,
+        /// Lookups issued.
+        queries: usize,
+    },
+    /// Tuple-space search over several flow tables (Fig. 10).
+    TupleSpace {
+        /// Number of tuple tables.
+        tuples: usize,
+        /// Flows per table.
+        flows_per_table: u64,
+        /// Packets classified (each probes every table).
+        packets: usize,
+    },
+    /// JVM GC live-object tree (BST).
+    JvmGc {
+        /// Objects in the tree.
+        objects: u64,
+        /// Reference lookups issued.
+        queries: usize,
+    },
+    /// RocksDB memtable (skip list, 100 B keys).
+    RocksDbMem {
+        /// Memtable items.
+        items: u64,
+        /// Point lookups issued.
+        queries: usize,
+    },
+    /// Snort Aho–Corasick literal matching.
+    SnortAc {
+        /// Dictionary keywords.
+        keywords: usize,
+        /// Payloads scanned.
+        scans: usize,
+        /// Payload length in bytes.
+        text_len: usize,
+    },
+    /// FLANN LSH similarity search.
+    FlannLsh {
+        /// Hash tables probed per search.
+        tables: usize,
+        /// Items indexed.
+        items: u64,
+        /// Searches issued.
+        searches: usize,
+    },
+}
+
+/// A workload identified by seeds, so any plan can rebuild it from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Guest-memory layout seed (the [`System`] seed).
+    pub guest_seed: u64,
+    /// Workload-construction seed (data contents and query stream).
+    pub build_seed: u64,
+    /// Which workload, at which size.
+    pub kind: WorkloadKind,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec.
+    pub fn new(guest_seed: u64, build_seed: u64, kind: WorkloadKind) -> Self {
+        WorkloadSpec {
+            guest_seed,
+            build_seed,
+            kind,
+        }
+    }
+
+    /// Builds a fresh system and the workload inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if guest allocation fails (dataset larger than guest memory).
+    pub fn build(&self, config: &MachineConfig) -> (System, Box<dyn Workload>) {
+        let mut sys = System::new(config.clone(), self.guest_seed);
+        let seed = self.build_seed;
+        let w: Box<dyn Workload> = match self.kind {
+            WorkloadKind::DpdkFib { flows, queries } => {
+                Box::new(DpdkFib::build(sys.guest_mut(), flows, queries, seed))
+            }
+            WorkloadKind::TupleSpace {
+                tuples,
+                flows_per_table,
+                packets,
+            } => Box::new(TupleSpace::build(
+                sys.guest_mut(),
+                tuples,
+                flows_per_table,
+                packets,
+                seed,
+            )),
+            WorkloadKind::JvmGc { objects, queries } => {
+                Box::new(JvmGc::build(sys.guest_mut(), objects, queries, seed))
+            }
+            WorkloadKind::RocksDbMem { items, queries } => {
+                Box::new(RocksDbMem::build(sys.guest_mut(), items, queries, seed))
+            }
+            WorkloadKind::SnortAc {
+                keywords,
+                scans,
+                text_len,
+            } => Box::new(SnortAc::build(
+                sys.guest_mut(),
+                keywords,
+                scans,
+                text_len,
+                seed,
+            )),
+            WorkloadKind::FlannLsh {
+                tables,
+                items,
+                searches,
+            } => Box::new(FlannLsh::build(
+                sys.guest_mut(),
+                tables,
+                items,
+                searches,
+                seed,
+            )),
+        };
+        (sys, w)
+    }
+}
+
+/// Per-plan machine-configuration overrides — the knobs the sweeps and
+/// ablations vary. `None` keeps the engine's base configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfigOverrides {
+    /// Device-interface data-access latency, cycles (Fig. 8 sweep).
+    pub device_data_latency: Option<u64>,
+    /// QST entries per accelerator instance (QST-depth ablation).
+    pub qst_entries: Option<u32>,
+    /// Comparators per CHA (comparator ablation).
+    pub comparators_per_cha: Option<u32>,
+    /// Dedicated accelerator-TLB entries (TLB-size ablation).
+    pub accel_tlb_entries: Option<u32>,
+}
+
+impl ConfigOverrides {
+    /// No overrides.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Applies the overrides to a machine configuration.
+    pub fn apply(&self, config: &mut MachineConfig) {
+        if let Some(lat) = self.device_data_latency {
+            config.qei.device_data_latency = Some(lat);
+        }
+        if let Some(n) = self.qst_entries {
+            config.qei.qst_entries = n;
+        }
+        if let Some(n) = self.comparators_per_cha {
+            config.qei.comparators_per_cha = n;
+        }
+        if let Some(n) = self.accel_tlb_entries {
+            config.qei.accel_tlb_entries = n;
+        }
+    }
+}
+
+/// One self-contained measurement: workload, execution mode, scheme, and
+/// configuration overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPlan {
+    /// The workload to build and measure.
+    pub workload: WorkloadSpec,
+    /// How the ROI executes.
+    pub mode: RunMode,
+    /// Integration scheme for QEI modes; `None` for the software baseline.
+    pub scheme: Option<Scheme>,
+    /// Machine-configuration overrides for this plan only.
+    pub overrides: ConfigOverrides,
+}
+
+impl RunPlan {
+    /// A software-baseline plan.
+    pub fn baseline(workload: WorkloadSpec) -> Self {
+        RunPlan {
+            workload,
+            mode: RunMode::Baseline,
+            scheme: None,
+            overrides: ConfigOverrides::none(),
+        }
+    }
+
+    /// A blocking-QEI plan under `scheme`.
+    pub fn qei(workload: WorkloadSpec, scheme: Scheme) -> Self {
+        RunPlan {
+            workload,
+            mode: RunMode::QeiBlocking,
+            scheme: Some(scheme),
+            overrides: ConfigOverrides::none(),
+        }
+    }
+
+    /// A non-blocking plan polling every `batch` jobs.
+    pub fn qei_nonblocking(workload: WorkloadSpec, scheme: Scheme, batch: usize) -> Self {
+        RunPlan {
+            workload,
+            mode: RunMode::QeiNonblocking { batch },
+            scheme: Some(scheme),
+            overrides: ConfigOverrides::none(),
+        }
+    }
+
+    /// A local-compare ablation plan (near-data comparison disabled).
+    pub fn local_compare(workload: WorkloadSpec, scheme: Scheme) -> Self {
+        RunPlan {
+            workload,
+            mode: RunMode::LocalCompareAblation,
+            scheme: Some(scheme),
+            overrides: ConfigOverrides::none(),
+        }
+    }
+
+    /// Replaces the plan's overrides (builder style).
+    pub fn with_overrides(mut self, overrides: ConfigOverrides) -> Self {
+        self.overrides = overrides;
+        self
+    }
+
+    /// Overrides the device-interface latency (builder style).
+    pub fn with_device_latency(mut self, cycles: u64) -> Self {
+        self.overrides.device_data_latency = Some(cycles);
+        self
+    }
+
+    /// Overrides the QST depth (builder style).
+    pub fn with_qst_entries(mut self, entries: u32) -> Self {
+        self.overrides.qst_entries = Some(entries);
+        self
+    }
+
+    /// Overrides the per-CHA comparator count (builder style).
+    pub fn with_comparators_per_cha(mut self, n: u32) -> Self {
+        self.overrides.comparators_per_cha = Some(n);
+        self
+    }
+
+    /// Overrides the accelerator-TLB size (builder style).
+    pub fn with_accel_tlb_entries(mut self, entries: u32) -> Self {
+        self.overrides.accel_tlb_entries = Some(entries);
+        self
+    }
+}
+
+/// Executes [`RunPlan`]s against a base machine configuration.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: MachineConfig,
+    /// Worker threads for [`Engine::run_all`]; 0 = one per available core.
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine over `config`, parallelising `run_all` across all
+    /// available cores (unless [`set_default_threads`] capped it).
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.validate().is_empty(), "invalid machine config");
+        Engine {
+            config,
+            threads: DEFAULT_THREADS.load(Ordering::SeqCst),
+        }
+    }
+
+    /// An engine over the paper's Table II machine.
+    pub fn paper() -> Self {
+        Self::new(MachineConfig::skylake_sp_24())
+    }
+
+    /// Caps `run_all` at `threads` workers (1 = serial). 0 restores the
+    /// one-per-core default.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The base machine configuration (before per-plan overrides).
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs one plan: applies its overrides, rebuilds its system and
+    /// workload from seeds, and prices it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if functional results disagree with the workload's ground
+    /// truth — that is a simulator bug, not a measurement.
+    pub fn run(&self, plan: &RunPlan) -> RunReport {
+        let mut config = self.config.clone();
+        plan.overrides.apply(&mut config);
+        let (mut sys, workload) = plan.workload.build(&config);
+        Self::execute(&mut sys, workload.as_ref(), plan.mode, plan.scheme)
+    }
+
+    /// Runs independent plans in parallel (scoped threads, work-stealing by
+    /// index) and returns reports in plan order. Plans share no state, so
+    /// the reports are identical to running each plan serially.
+    pub fn run_all(&self, plans: &[RunPlan]) -> Vec<RunReport> {
+        let workers = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(plans.len());
+        if workers <= 1 {
+            return plans.iter().map(|p| self.run(p)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunReport>>> = plans.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= plans.len() {
+                        break;
+                    }
+                    let report = self.run(&plans[i]);
+                    *slots[i].lock().expect("result slot") = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Prices an already-built workload living in `sys` — for callers that
+    /// construct their own data structures instead of using a
+    /// [`WorkloadSpec`]. `scheme` must be `Some` for QEI modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a functional mismatch, or if a QEI mode is given no
+    /// scheme.
+    pub fn run_workload(
+        sys: &mut System,
+        workload: &dyn Workload,
+        mode: RunMode,
+        scheme: Option<Scheme>,
+    ) -> RunReport {
+        Self::execute(sys, workload, mode, scheme)
+    }
+
+    fn execute(
+        sys: &mut System,
+        workload: &dyn Workload,
+        mode: RunMode,
+        scheme: Option<Scheme>,
+    ) -> RunReport {
+        match mode {
+            RunMode::Baseline => Self::execute_baseline(sys, workload),
+            RunMode::QeiBlocking | RunMode::LocalCompareAblation => {
+                let scheme = scheme.expect("QEI modes require a scheme");
+                let trace = build_qei_trace_blocking(workload);
+                Self::execute_qei(sys, workload, mode, scheme, trace)
+            }
+            RunMode::QeiNonblocking { batch } => {
+                let scheme = scheme.expect("QEI modes require a scheme");
+                let trace = build_qei_trace_nonblocking(workload, batch);
+                Self::execute_qei(sys, workload, mode, scheme, trace)
+            }
+        }
+    }
+
+    fn execute_baseline(sys: &mut System, workload: &dyn Workload) -> RunReport {
+        let mut trace = Trace::new();
+        let results = workload.baseline_trace(sys.guest(), &mut trace);
+        assert_eq!(
+            results,
+            workload.expected(),
+            "baseline functional mismatch in {}",
+            workload.name()
+        );
+
+        let mut bus = MemBus::new(MemoryHierarchy::new(sys.config()), sys.guest().space());
+        let mut core = CoreModel::new(sys.config(), sys.core_id());
+        // Warm-up pass: caches, TLBs, branch predictor reach steady state.
+        let _ = core.run(&trace, &mut bus);
+        bus.mem.reset_epoch();
+        let run = core.run(&trace, &mut bus);
+
+        RunReport::from_software(workload, run, bus.mem.stats())
+    }
+
+    fn execute_qei(
+        sys: &mut System,
+        workload: &dyn Workload,
+        mode: RunMode,
+        scheme: Scheme,
+        trace: Trace,
+    ) -> RunReport {
+        // Result buffer for non-blocking queries: one u64 per job.
+        let n_jobs = workload.jobs().len();
+        let result_buf = sys
+            .guest_mut()
+            .alloc((n_jobs.max(1) * 8) as u64, 64)
+            .expect("guest alloc for NB results");
+
+        let mut core = CoreModel::new(sys.config(), sys.core_id());
+        let mut accel = QeiAccelerator::new(sys.config(), scheme, sys.core_id());
+        accel.set_force_local_compare(matches!(mode, RunMode::LocalCompareAblation));
+        let config = sys.config().clone();
+        let jobs = workload.jobs().to_vec();
+        let mut bus = QeiBus::new(
+            MemoryHierarchy::new(&config),
+            accel,
+            sys.guest_mut(),
+            jobs,
+            result_buf,
+        );
+        // Warm-up pass then measured pass over the *same* bus, so caches,
+        // accelerator TLBs, and the predictor are in steady state.
+        let _ = core.run(&trace, &mut bus);
+        bus.begin_epoch();
+        let run = core.run(&trace, &mut bus);
+
+        let nonblocking = matches!(mode, RunMode::QeiNonblocking { .. });
+        let correct = bus.verify(workload.expected(), nonblocking);
+        assert!(
+            correct,
+            "QEI functional mismatch in {} under {}",
+            workload.name(),
+            scheme
+        );
+        let occupancy = bus.accel().qst_occupancy(Cycles(run.cycles.max(1)));
+        RunReport::from_qei(
+            workload,
+            mode,
+            scheme,
+            QeiRunData {
+                run,
+                mem: bus.mem_hierarchy().stats(),
+                accel: bus.accel().stats(),
+                qst_occupancy: occupancy,
+                noc: *bus.mem_hierarchy().noc().stats(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jvm_spec() -> WorkloadSpec {
+        WorkloadSpec::new(
+            7,
+            2,
+            WorkloadKind::JvmGc {
+                objects: 5_000,
+                queries: 120,
+            },
+        )
+    }
+
+    #[test]
+    fn plan_builders_set_mode_and_scheme() {
+        let spec = jvm_spec();
+        assert_eq!(RunPlan::baseline(spec).mode, RunMode::Baseline);
+        assert_eq!(RunPlan::baseline(spec).scheme, None);
+        let q = RunPlan::qei(spec, Scheme::ChaTlb);
+        assert_eq!(q.mode, RunMode::QeiBlocking);
+        assert_eq!(q.scheme, Some(Scheme::ChaTlb));
+        let nb = RunPlan::qei_nonblocking(spec, Scheme::DeviceDirect, 16);
+        assert_eq!(nb.mode, RunMode::QeiNonblocking { batch: 16 });
+        let lc = RunPlan::local_compare(spec, Scheme::CoreIntegrated);
+        assert_eq!(lc.mode, RunMode::LocalCompareAblation);
+    }
+
+    #[test]
+    fn overrides_apply_only_what_they_set() {
+        let mut config = MachineConfig::skylake_sp_24();
+        let before = config.clone();
+        ConfigOverrides::none().apply(&mut config);
+        assert_eq!(config, before);
+        ConfigOverrides {
+            qst_entries: Some(40),
+            device_data_latency: Some(500),
+            ..ConfigOverrides::none()
+        }
+        .apply(&mut config);
+        assert_eq!(config.qei.qst_entries, 40);
+        assert_eq!(config.qei.device_data_latency, Some(500));
+        assert_eq!(config.qei.accel_tlb_entries, before.qei.accel_tlb_entries);
+    }
+
+    #[test]
+    fn engine_runs_a_baseline_plan() {
+        let engine = Engine::paper();
+        let r = engine.run(&RunPlan::baseline(jvm_spec()));
+        assert_eq!(r.workload, "JVM");
+        assert_eq!(r.mode, RunMode::Baseline);
+        assert!(r.cycles > 0 && r.correct);
+        assert!(r.stats.get("core", "cycles").is_some());
+    }
+
+    #[test]
+    fn run_all_returns_reports_in_plan_order() {
+        let engine = Engine::paper().with_threads(2);
+        let spec = jvm_spec();
+        let plans = [
+            RunPlan::baseline(spec),
+            RunPlan::qei(spec, Scheme::ChaTlb),
+            RunPlan::qei(spec, Scheme::CoreIntegrated),
+        ];
+        let reports = engine.run_all(&plans);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].mode, RunMode::Baseline);
+        assert_eq!(reports[1].scheme, Some(Scheme::ChaTlb));
+        assert_eq!(reports[2].scheme, Some(Scheme::CoreIntegrated));
+        // The accelerated runs beat software on this dense-query workload.
+        assert!(reports[1].cycles < reports[0].cycles);
+    }
+
+    #[test]
+    fn empty_plan_list_is_fine() {
+        assert!(Engine::paper().run_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn device_latency_override_slows_device_scheme() {
+        let engine = Engine::paper();
+        let spec = WorkloadSpec::new(
+            5,
+            5,
+            WorkloadKind::DpdkFib {
+                flows: 1_000,
+                queries: 100,
+            },
+        );
+        let fast = engine
+            .run(&RunPlan::qei(spec, Scheme::DeviceIndirect).with_device_latency(50))
+            .cycles;
+        let slow = engine
+            .run(&RunPlan::qei(spec, Scheme::DeviceIndirect).with_device_latency(2000))
+            .cycles;
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+}

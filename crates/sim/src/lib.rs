@@ -1,30 +1,34 @@
 //! Top-level co-simulation driver.
 //!
-//! [`System`] glues the substrate together: it owns the guest memory a
-//! workload was built into, constructs a fresh machine (core model + cache
-//! hierarchy + NoC + optional QEI accelerator) per run, and prices a
-//! workload three ways:
+//! The run pipeline is one explicit layer: a [`RunPlan`] names a workload
+//! (by seeds and sizing), an execution [`RunMode`] (software baseline,
+//! blocking QEI, non-blocking QEI, or the local-compare ablation), an
+//! integration [`Scheme`], and per-plan machine-configuration
+//! [`ConfigOverrides`]. An [`Engine`] executes plans — one at a time
+//! ([`Engine::run`]) or an independent list in parallel
+//! ([`Engine::run_all`], scoped threads, results in plan order).
 //!
-//! * [`System::run_baseline`] — the unmodified software routines;
-//! * [`System::run_qei`] — the ROI rewritten with blocking `QUERY_B`
-//!   instructions under a chosen integration scheme;
-//! * [`System::run_qei_nonblocking`] — the `QUERY_NB` + `SNAPSHOT_READ`
-//!   polling pattern (batched, the Fig. 10 configuration).
+//! [`System`] is the state a single run executes against: the guest memory
+//! a workload was built into plus the machine configuration. Plans rebuild
+//! their system from seeds, so every run is self-contained and
+//! deterministic; callers with hand-built workloads use
+//! [`Engine::run_workload`] on their own `System`.
 //!
-//! Every run performs a warm-up pass (same trace, same machine state) before
-//! the measured pass, modelling the steady state the paper measures, and
-//! verifies functional results against the workload's ground truth.
+//! Every run performs a warm-up pass (same trace, same machine state)
+//! before the measured pass, modelling the steady state the paper
+//! measures, and verifies functional results against the workload's ground
+//! truth.
 
 pub mod bus;
+pub mod engine;
 pub mod report;
 
 pub use bus::QeiBus;
-pub use report::RunReport;
+pub use engine::{ConfigOverrides, Engine, RunMode, RunPlan, WorkloadKind, WorkloadSpec};
+pub use report::{QeiRunData, RunReport};
 
-use qei_cache::MemoryHierarchy;
-use qei_config::{Cycles, MachineConfig, Scheme};
-use qei_core::QeiAccelerator;
-use qei_cpu::{CoreModel, MemBus, Trace};
+use qei_config::MachineConfig;
+use qei_cpu::Trace;
 use qei_mem::GuestMem;
 use qei_workloads::Workload;
 
@@ -67,147 +71,16 @@ impl System {
         &self.config
     }
 
-    /// Mutable access to the machine configuration — for ablation sweeps
-    /// that vary accelerator sizing between runs over the same guest data.
+    /// Mutable access to the machine configuration — for ad-hoc callers
+    /// tuning the machine before an [`Engine::run_workload`] call. Plan
+    /// sweeps use [`ConfigOverrides`] instead.
     pub fn config_mut(&mut self) -> &mut MachineConfig {
         &mut self.config
     }
 
-    /// Runs the software baseline for `workload` and returns the measured
-    /// (post-warm-up) report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the baseline's functional results disagree with the
-    /// workload's ground truth — that is a bug, not a measurement.
-    pub fn run_baseline(&mut self, workload: &dyn Workload) -> RunReport {
-        let mut trace = Trace::new();
-        let results = workload.baseline_trace(&self.guest, &mut trace);
-        assert_eq!(
-            results,
-            workload.expected(),
-            "baseline functional mismatch in {}",
-            workload.name()
-        );
-
-        let mut bus = MemBus::new(MemoryHierarchy::new(&self.config), self.guest.space());
-        let mut core = CoreModel::new(&self.config, self.core_id);
-        // Warm-up pass: caches, TLBs, branch predictor reach steady state.
-        let _ = core.run(&trace, &mut bus);
-        bus.mem.reset_epoch();
-        let run = core.run(&trace, &mut bus);
-
-        RunReport::from_software(workload, run, bus.mem.stats())
-    }
-
-    /// Runs `workload` with its ROI rewritten as blocking `QUERY_B`
-    /// instructions under `scheme`. `device_latency` optionally overrides the
-    /// Device-indirect per-access interface latency (the Fig. 8 sweep).
-    pub fn run_qei(
-        &mut self,
-        workload: &dyn Workload,
-        scheme: Scheme,
-        device_latency: Option<u64>,
-    ) -> RunReport {
-        let trace = build_qei_trace_blocking(workload);
-        self.run_qei_trace(workload, scheme, device_latency, trace, false)
-    }
-
-    /// Runs `workload` with non-blocking `QUERY_NB` instructions in batches
-    /// of [`NB_BATCH`] jobs, polling results with `SNAPSHOT_READ`-style
-    /// loads.
-    pub fn run_qei_nonblocking(
-        &mut self,
-        workload: &dyn Workload,
-        scheme: Scheme,
-        device_latency: Option<u64>,
-    ) -> RunReport {
-        self.run_qei_nonblocking_batched(workload, scheme, device_latency, NB_BATCH)
-    }
-
-    /// Non-blocking run with an explicit batch size — the paper's tuple-space
-    /// experiment polls every 32 *keys*, i.e. `32 × tuple_count` jobs.
-    pub fn run_qei_nonblocking_batched(
-        &mut self,
-        workload: &dyn Workload,
-        scheme: Scheme,
-        device_latency: Option<u64>,
-        batch: usize,
-    ) -> RunReport {
-        let trace = build_qei_trace_nonblocking(workload, batch);
-        self.run_qei_trace(workload, scheme, device_latency, trace, true)
-    }
-
-    /// Blocking run with the near-data comparison path disabled (ablation).
-    pub fn run_qei_local_compare(&mut self, workload: &dyn Workload, scheme: Scheme) -> RunReport {
-        let trace = build_qei_trace_blocking(workload);
-        self.run_qei_trace_opts(workload, scheme, None, trace, false, true)
-    }
-
-    fn run_qei_trace(
-        &mut self,
-        workload: &dyn Workload,
-        scheme: Scheme,
-        device_latency: Option<u64>,
-        trace: Trace,
-        nonblocking: bool,
-    ) -> RunReport {
-        self.run_qei_trace_opts(workload, scheme, device_latency, trace, nonblocking, false)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_qei_trace_opts(
-        &mut self,
-        workload: &dyn Workload,
-        scheme: Scheme,
-        device_latency: Option<u64>,
-        trace: Trace,
-        nonblocking: bool,
-        force_local_compare: bool,
-    ) -> RunReport {
-        // Result buffer for non-blocking queries: one u64 per job.
-        let n_jobs = workload.jobs().len();
-        let result_buf = self
-            .guest
-            .alloc((n_jobs.max(1) * 8) as u64, 64)
-            .expect("guest alloc for NB results");
-
-        let mut core = CoreModel::new(&self.config, self.core_id);
-        // Warm-up pass then measured pass over the *same* bus, so caches,
-        // accelerator TLBs, and the predictor are in steady state.
-        let mut accel = QeiAccelerator::new(&self.config, scheme, self.core_id);
-        if let Some(lat) = device_latency {
-            accel.set_device_data_latency(lat);
-        }
-        accel.set_force_local_compare(force_local_compare);
-        let mut bus = QeiBus::new(
-            MemoryHierarchy::new(&self.config),
-            accel,
-            &mut self.guest,
-            workload.jobs().to_vec(),
-            result_buf,
-        );
-        let _ = core.run(&trace, &mut bus);
-        bus.begin_epoch();
-        let run = core.run(&trace, &mut bus);
-
-        let correct = bus.verify(workload.expected(), nonblocking);
-        assert!(
-            correct,
-            "QEI functional mismatch in {} under {}",
-            workload.name(),
-            scheme
-        );
-        let occupancy = bus.accel().qst_occupancy(Cycles(run.cycles.max(1)));
-        let report = RunReport::from_qei(
-            workload,
-            run,
-            bus.mem_hierarchy().stats(),
-            bus.accel().stats(),
-            occupancy,
-            bus.mem_hierarchy().noc().stats().bytes,
-        );
-        report
+    /// The core the benchmark issues from.
+    pub fn core_id(&self) -> u32 {
+        self.core_id
     }
 }
 
@@ -280,18 +153,110 @@ pub fn build_qei_trace_nonblocking(workload: &dyn Workload, batch_size: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qei_workloads::dpdk::DpdkFib;
-    use qei_workloads::jvm::JvmGc;
+    use qei_config::Scheme;
+    use qei_cpu::Uop;
 
-    fn small_system() -> System {
-        System::new(MachineConfig::skylake_sp_24(), 7)
+    fn dpdk(flows: u64, queries: usize, guest_seed: u64, build_seed: u64) -> WorkloadSpec {
+        WorkloadSpec::new(
+            guest_seed,
+            build_seed,
+            WorkloadKind::DpdkFib { flows, queries },
+        )
+    }
+
+    /// Builds a workload instance for direct trace-builder inspection.
+    fn build_workload(queries: usize) -> Box<dyn Workload> {
+        let config = qei_config::MachineConfig::skylake_sp_24();
+        let (_, w) = dpdk(256, queries, 5, 1).build(&config);
+        w
+    }
+
+    /// Indices of the query uops (External) in issue order.
+    fn query_indices(trace: &Trace, blocking: bool) -> Vec<u32> {
+        trace
+            .uops()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| match u {
+                Uop::External {
+                    blocking: b, token, ..
+                } if *b == blocking && *token != u32::MAX => Some(i as u32),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocking_trace_enforces_qst_window_ring() {
+        let window = qei_config::MachineConfig::default().qei.qst_entries as usize;
+        let queries = 3 * window + 2; // wraps the ring twice
+        let w = build_workload(queries);
+        let trace = build_qei_trace_blocking(w.as_ref());
+        let qidx = query_indices(&trace, true);
+        assert_eq!(qidx.len(), queries);
+        for (i, &q) in qidx.iter().enumerate() {
+            // Query -> setup ALU -> (query i - window), the software's QST
+            // slot-tracking chain.
+            let Uop::External {
+                dep: Some(setup), ..
+            } = trace.uops()[q as usize]
+            else {
+                panic!("query {i} lost its setup dependence");
+            };
+            let Uop::Alu { dep, .. } = trace.uops()[setup as usize] else {
+                panic!("query {i} setup is not an ALU op");
+            };
+            let expected = if i >= window {
+                Some(qidx[i - window])
+            } else {
+                None
+            };
+            assert_eq!(dep, expected, "query {i} window dependence");
+        }
+    }
+
+    #[test]
+    fn nonblocking_trace_batch_larger_than_jobs_is_one_batch() {
+        let w = build_workload(12);
+        let trace = build_qei_trace_nonblocking(w.as_ref(), 1_000);
+        assert_eq!(query_indices(&trace, false).len(), 12);
+        // One batch -> exactly one drain poll (the u32::MAX External).
+        let polls = trace
+            .uops()
+            .iter()
+            .filter(|u| matches!(u, Uop::External { token, .. } if *token == u32::MAX))
+            .count();
+        assert_eq!(polls, 1);
+    }
+
+    #[test]
+    fn nonblocking_trace_batch_one_polls_every_query() {
+        let w = build_workload(9);
+        let trace = build_qei_trace_nonblocking(w.as_ref(), 1);
+        assert_eq!(query_indices(&trace, false).len(), 9);
+        let polls = trace
+            .uops()
+            .iter()
+            .filter(|u| matches!(u, Uop::External { token, .. } if *token == u32::MAX))
+            .count();
+        assert_eq!(polls, 9, "each single-query batch drains itself");
+        // Degenerate batch size clamps to 1 rather than looping forever.
+        let clamped = build_qei_trace_nonblocking(w.as_ref(), 0);
+        assert_eq!(clamped.len(), trace.len());
+    }
+
+    #[test]
+    fn nonblocking_trace_zero_jobs_is_empty() {
+        let w = build_workload(0);
+        let trace = build_qei_trace_nonblocking(w.as_ref(), 32);
+        assert_eq!(trace.len(), 0);
+        let blocking = build_qei_trace_blocking(w.as_ref());
+        assert_eq!(blocking.len(), 0);
     }
 
     #[test]
     fn baseline_runs_and_reports() {
-        let mut sys = small_system();
-        let w = DpdkFib::build(sys.guest_mut(), 512, 100, 1);
-        let r = sys.run_baseline(&w);
+        let r = Engine::paper().run(&RunPlan::baseline(dpdk(512, 100, 7, 1)));
         assert!(r.cycles > 0);
         assert!(r.uops > 1_000);
         assert_eq!(r.queries, 100);
@@ -301,10 +266,17 @@ mod tests {
 
     #[test]
     fn qei_blocking_beats_baseline_on_dense_queries() {
-        let mut sys = small_system();
-        let w = JvmGc::build(sys.guest_mut(), 20_000, 300, 2);
-        let base = sys.run_baseline(&w);
-        let qei = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+        let engine = Engine::paper();
+        let spec = WorkloadSpec::new(
+            7,
+            2,
+            WorkloadKind::JvmGc {
+                objects: 20_000,
+                queries: 300,
+            },
+        );
+        let base = engine.run(&RunPlan::baseline(spec));
+        let qei = engine.run(&RunPlan::qei(spec, Scheme::CoreIntegrated));
         assert!(qei.correct);
         let speedup = base.cycles as f64 / qei.cycles as f64;
         assert!(
@@ -317,11 +289,15 @@ mod tests {
 
     #[test]
     fn scheme_ordering_holds() {
-        let mut sys = small_system();
-        let w = DpdkFib::build(sys.guest_mut(), 2_000, 200, 3);
-        let cha = sys.run_qei(&w, Scheme::ChaTlb, None).cycles;
-        let core_int = sys.run_qei(&w, Scheme::CoreIntegrated, None).cycles;
-        let dev_ind = sys.run_qei(&w, Scheme::DeviceIndirect, None).cycles;
+        let engine = Engine::paper();
+        let spec = dpdk(2_000, 200, 7, 3);
+        let cha = engine.run(&RunPlan::qei(spec, Scheme::ChaTlb)).cycles;
+        let core_int = engine
+            .run(&RunPlan::qei(spec, Scheme::CoreIntegrated))
+            .cycles;
+        let dev_ind = engine
+            .run(&RunPlan::qei(spec, Scheme::DeviceIndirect))
+            .cycles;
         // CHA-TLB fastest; Device-indirect slowest (paper Fig. 7 shape).
         assert!(cha <= core_int * 2, "cha {cha} vs core {core_int}");
         assert!(
@@ -332,19 +308,15 @@ mod tests {
 
     #[test]
     fn nonblocking_runs_and_verifies() {
-        let mut sys = small_system();
-        let w = DpdkFib::build(sys.guest_mut(), 1_000, 128, 4);
-        let r = sys.run_qei_nonblocking(&w, Scheme::CoreIntegrated, None);
+        let engine = Engine::paper();
+        let spec = dpdk(1_000, 128, 7, 4);
+        let r = engine.run(&RunPlan::qei_nonblocking(
+            spec,
+            Scheme::CoreIntegrated,
+            NB_BATCH,
+        ));
         assert!(r.correct);
         assert!(r.cycles > 0);
-    }
-
-    #[test]
-    fn device_latency_override_slows_device_scheme() {
-        let mut sys = small_system();
-        let w = DpdkFib::build(sys.guest_mut(), 1_000, 100, 5);
-        let fast = sys.run_qei(&w, Scheme::DeviceIndirect, Some(50)).cycles;
-        let slow = sys.run_qei(&w, Scheme::DeviceIndirect, Some(2000)).cycles;
-        assert!(slow > fast, "{slow} vs {fast}");
+        assert_eq!(r.mode, RunMode::QeiNonblocking { batch: NB_BATCH });
     }
 }

@@ -1,15 +1,37 @@
 //! Run reports: the measured quantities every experiment consumes.
 
+use crate::engine::RunMode;
 use qei_cache::MemStats;
+use qei_config::{Scheme, StatsRegistry};
 use qei_core::AccelStats;
 use qei_cpu::RunResult;
+use qei_noc::NocStats;
 use qei_workloads::Workload;
+
+/// The raw measurements of one QEI run, bundled for [`RunReport::from_qei`].
+#[derive(Debug, Clone, Copy)]
+pub struct QeiRunData {
+    /// Core-model outcome.
+    pub run: RunResult,
+    /// Memory-hierarchy access counts.
+    pub mem: MemStats,
+    /// Accelerator statistics.
+    pub accel: AccelStats,
+    /// Mean QST occupancy over the run.
+    pub qst_occupancy: f64,
+    /// NoC traffic totals.
+    pub noc: NocStats,
+}
 
 /// The outcome of one priced run (baseline or QEI).
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Workload name.
     pub workload: &'static str,
+    /// How the ROI was executed.
+    pub mode: RunMode,
+    /// Integration scheme (`None` for the software baseline).
+    pub scheme: Option<Scheme>,
     /// End-to-end ROI cycles.
     pub cycles: u64,
     /// Micro-ops the *core* executed.
@@ -31,16 +53,70 @@ pub struct RunReport {
     /// Non-query application work accompanying each query (for end-to-end
     /// extrapolation).
     pub non_roi_work_per_query: u32,
+    /// The uniformly-named machine-readable stats tree for this run.
+    pub stats: StatsRegistry,
+}
+
+/// Fills the `run` group shared by both report constructors.
+fn run_group(
+    stats: &mut StatsRegistry,
+    workload: &dyn Workload,
+    mode: RunMode,
+    scheme: Option<Scheme>,
+    cycles: u64,
+    queries: u64,
+) {
+    stats.set("run", "workload", workload.name());
+    stats.set("run", "mode", mode.label());
+    stats.set(
+        "run",
+        "scheme",
+        scheme.map_or_else(|| "none".to_owned(), |s| s.label().to_owned()),
+    );
+    if let RunMode::QeiNonblocking { batch } = mode {
+        stats.set("run", "nb_batch", batch as u64);
+    }
+    stats.set("run", "cycles", cycles);
+    stats.set("run", "queries", queries);
+    stats.set(
+        "run",
+        "cycles_per_query",
+        if queries == 0 {
+            0.0
+        } else {
+            cycles as f64 / queries as f64
+        },
+    );
+    stats.set(
+        "run",
+        "non_roi_work_per_query",
+        u64::from(workload.non_roi_work_per_query()),
+    );
+    stats.set("run", "correct", true);
 }
 
 impl RunReport {
     /// Builds a report for a software-baseline run.
     pub fn from_software(workload: &dyn Workload, run: RunResult, mem: MemStats) -> Self {
+        let queries = workload.jobs().len() as u64;
+        let mut stats = StatsRegistry::new();
+        run_group(
+            &mut stats,
+            workload,
+            RunMode::Baseline,
+            None,
+            run.cycles,
+            queries,
+        );
+        run.export_stats(&mut stats);
+        mem.export_stats(&mut stats);
         RunReport {
             workload: workload.name(),
+            mode: RunMode::Baseline,
+            scheme: None,
             cycles: run.cycles,
             uops: run.uops,
-            queries: workload.jobs().len() as u64,
+            queries,
             run,
             mem,
             accel: None,
@@ -48,31 +124,53 @@ impl RunReport {
             noc_bytes: 0,
             correct: true,
             non_roi_work_per_query: workload.non_roi_work_per_query(),
+            stats,
         }
     }
 
     /// Builds a report for a QEI run.
     pub fn from_qei(
         workload: &dyn Workload,
-        run: RunResult,
-        mem: MemStats,
-        accel: AccelStats,
-        qst_occupancy: f64,
-        noc_bytes: u64,
+        mode: RunMode,
+        scheme: Scheme,
+        data: QeiRunData,
     ) -> Self {
+        let queries = workload.jobs().len() as u64;
+        let mut stats = StatsRegistry::new();
+        run_group(
+            &mut stats,
+            workload,
+            mode,
+            Some(scheme),
+            data.run.cycles,
+            queries,
+        );
+        stats.set("run", "qst_occupancy", data.qst_occupancy);
+        data.run.export_stats(&mut stats);
+        data.mem.export_stats(&mut stats);
+        data.accel.export_stats(&mut stats);
+        data.noc.export_stats(&mut stats);
         RunReport {
             workload: workload.name(),
-            cycles: run.cycles,
-            uops: run.uops,
-            queries: workload.jobs().len() as u64,
-            run,
-            mem,
-            accel: Some(accel),
-            qst_occupancy,
-            noc_bytes,
+            mode,
+            scheme: Some(scheme),
+            cycles: data.run.cycles,
+            uops: data.run.uops,
+            queries,
+            run: data.run,
+            mem: data.mem,
+            accel: Some(data.accel),
+            qst_occupancy: data.qst_occupancy,
+            noc_bytes: data.noc.bytes,
             correct: true,
             non_roi_work_per_query: workload.non_roi_work_per_query(),
+            stats,
         }
+    }
+
+    /// The run's full stats tree as deterministic JSON (sorted keys).
+    pub fn to_json(&self) -> String {
+        self.stats.to_json()
     }
 
     /// Mean cycles per query.
@@ -110,6 +208,8 @@ mod tests {
     fn report(cycles: u64, uops: u64, queries: u64) -> RunReport {
         RunReport {
             workload: "test",
+            mode: RunMode::Baseline,
+            scheme: None,
             cycles,
             uops,
             queries,
@@ -120,6 +220,7 @@ mod tests {
             noc_bytes: 0,
             correct: true,
             non_roi_work_per_query: 100,
+            stats: StatsRegistry::new(),
         }
     }
 

@@ -52,7 +52,10 @@ impl DpdkFib {
         let mut jobs = Vec::with_capacity(queries);
         let mut expected = Vec::with_capacity(queries);
         let mut keys = Vec::with_capacity(queries);
-        for (qi, pick) in query_indices(seed, queries, flows, 0.95).into_iter().enumerate() {
+        for (qi, pick) in query_indices(seed, queries, flows, 0.95)
+            .into_iter()
+            .enumerate()
+        {
             let key = match pick {
                 Some(i) => flow_key(i),
                 None => miss_key(qi as u64),
@@ -238,7 +241,7 @@ impl Workload for TupleSpace {
         _prev: Option<u32>,
     ) {
         // One packet = `tuples` jobs; parse work happens once per packet.
-        if job_index % self.tables.len() == 0 {
+        if job_index.is_multiple_of(self.tables.len()) {
             trace.alu_block(self.other_work_per_query());
         }
     }

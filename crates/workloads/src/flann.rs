@@ -57,9 +57,8 @@ impl FlannLsh {
         let capacity = (items / 4).next_power_of_two().max(16);
         let mut bank = Vec::with_capacity(tables);
         for t in 0..tables as u64 {
-            let mut table =
-                ChainedHash::new(mem, capacity, KEY_LEN as u16, seed ^ (0x1000 + t))
-                    .expect("guest alloc");
+            let mut table = ChainedHash::new(mem, capacity, KEY_LEN as u16, seed ^ (0x1000 + t))
+                .expect("guest alloc");
             for i in 0..items {
                 table
                     .insert(mem, &descriptor(i), 1 + i)
@@ -131,10 +130,15 @@ impl Workload for FlannLsh {
         40
     }
 
-    fn emit_qei_surrounding(&self, trace: &mut qei_cpu::Trace, job_index: usize, _prev: Option<u32>) {
+    fn emit_qei_surrounding(
+        &self,
+        trace: &mut qei_cpu::Trace,
+        job_index: usize,
+        _prev: Option<u32>,
+    ) {
         // One search = `tables` jobs; the surrounding work happens once per
         // search, not per table probe.
-        if job_index % self.tables.len() == 0 {
+        if job_index.is_multiple_of(self.tables.len()) {
             trace.alu_block(self.other_work_per_query());
         }
     }

@@ -8,11 +8,10 @@
 //! stream of object lookups, as the mark phase chases references.
 
 use crate::{query_indices, QueryJob, Workload};
+use qei_config::SimRng;
 use qei_cpu::Trace;
 use qei_datastructs::{stage_key, Bst, QueryDs};
 use qei_mem::GuestMem;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
 
 /// Object ids are sparse (multiplied out) so misses are exercised.
 fn object_id(i: u64) -> u64 {
@@ -38,7 +37,7 @@ impl JvmGc {
     pub fn build(mem: &mut GuestMem, objects: u64, queries: usize, seed: u64) -> Self {
         let mut tree = Bst::new(mem).expect("guest alloc");
         let mut ids: Vec<u64> = (0..objects).map(object_id).collect();
-        ids.shuffle(&mut StdRng::seed_from_u64(seed));
+        SimRng::seed_from_u64(seed).shuffle(&mut ids);
         for &id in &ids {
             tree.insert(mem, id, id + 0x10_0000).expect("guest alloc");
         }

@@ -89,13 +89,12 @@ pub(crate) fn query_indices(
     population: u64,
     hit_rate: f64,
 ) -> Vec<Option<u64>> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use qei_config::SimRng;
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..queries)
         .map(|_| {
             if rng.gen_bool(hit_rate) {
-                Some(rng.gen_range(0..population))
+                Some(rng.below(population))
             } else {
                 None
             }
@@ -112,15 +111,18 @@ mod tests {
         let idx = query_indices(1, 10_000, 100, 0.9);
         let hits = idx.iter().filter(|i| i.is_some()).count();
         assert!((8_500..=9_500).contains(&hits), "hits {hits}");
-        assert!(idx
-            .iter()
-            .flatten()
-            .all(|&i| i < 100));
+        assert!(idx.iter().flatten().all(|&i| i < 100));
     }
 
     #[test]
     fn query_indices_deterministic() {
-        assert_eq!(query_indices(7, 100, 50, 0.5), query_indices(7, 100, 50, 0.5));
-        assert_ne!(query_indices(7, 100, 50, 0.5), query_indices(8, 100, 50, 0.5));
+        assert_eq!(
+            query_indices(7, 100, 50, 0.5),
+            query_indices(7, 100, 50, 0.5)
+        );
+        assert_ne!(
+            query_indices(7, 100, 50, 0.5),
+            query_indices(8, 100, 50, 0.5)
+        );
     }
 }

@@ -7,11 +7,10 @@
 //! scan, returning the total occurrence count.
 
 use crate::{QueryJob, Workload};
+use qei_config::SimRng;
 use qei_cpu::Trace;
 use qei_datastructs::{stage_key, AcTrie, QueryDs};
 use qei_mem::GuestMem;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Alphabet the generator draws from — small, so keyword prefixes collide
 /// and the automaton's failure structure is exercised.
@@ -42,13 +41,13 @@ impl SnortAc {
         seed: u64,
     ) -> Self {
         assert!(keywords > 0 && text_len >= 16);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut dict: Vec<Vec<u8>> = Vec::with_capacity(keywords);
         let mut seen = std::collections::HashSet::new();
         while dict.len() < keywords {
-            let len = rng.gen_range(3..=12);
+            let len = rng.range_inclusive(3, 12);
             let w: Vec<u8> = (0..len)
-                .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+                .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
                 .collect();
             if seen.insert(w.clone()) {
                 dict.push(w);
@@ -60,12 +59,12 @@ impl SnortAc {
         let mut expected = Vec::with_capacity(scans);
         for _ in 0..scans {
             let mut text: Vec<u8> = (0..text_len)
-                .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+                .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
                 .collect();
             // Plant a few keywords to guarantee matches.
             for _ in 0..4 {
-                let w = &dict[rng.gen_range(0..dict.len())];
-                let pos = rng.gen_range(0..=text_len - w.len());
+                let w = &dict[rng.below(dict.len() as u64) as usize];
+                let pos = rng.range_inclusive(0, (text_len - w.len()) as u64) as usize;
                 text[pos..pos + w.len()].copy_from_slice(w);
             }
             let ka = stage_key(mem, &text);

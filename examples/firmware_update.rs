@@ -87,7 +87,9 @@ fn main() {
         b
     };
     let header_addr = sys.guest_mut().alloc(64, 64).expect("alloc");
-    sys.guest_mut().write(header_addr, &header_bytes).expect("mapped");
+    sys.guest_mut()
+        .write(header_addr, &header_bytes)
+        .expect("mapped");
 
     // Without the firmware update the query faults with UnknownType.
     let fw = FirmwareStore::with_builtins();

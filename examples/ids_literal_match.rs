@@ -11,7 +11,6 @@
 
 use qei::prelude::*;
 use qei::workloads::snort::SnortAc;
-use qei::workloads::Workload as _;
 
 fn main() {
     let mut sys = System::new(MachineConfig::skylake_sp_24(), 23);
@@ -32,7 +31,8 @@ fn main() {
     }
     println!();
 
-    let baseline = sys.run_baseline(&ips);
+    // A hand-built workload prices through the ad-hoc engine entry point.
+    let baseline = Engine::run_workload(&mut sys, &ips, RunMode::Baseline, None);
     println!(
         "software AC scan : {:>9} cycles total ({:.0} cycles/payload, frontend-bound {:.0}%)",
         baseline.cycles,
@@ -41,7 +41,7 @@ fn main() {
     );
 
     for scheme in [Scheme::CoreIntegrated, Scheme::ChaTlb, Scheme::DeviceDirect] {
-        let qei = sys.run_qei(&ips, scheme, None);
+        let qei = Engine::run_workload(&mut sys, &ips, RunMode::QeiBlocking, Some(scheme));
         println!(
             "{:16}: {:>9} cycles ({:.2}x), core instructions/scan {:.0} (vs {:.0})",
             scheme.label(),

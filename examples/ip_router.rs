@@ -22,15 +22,19 @@ fn main() {
 
     // A small FIB: byte-granular prefixes (/8, /16, /24, /32) to ports.
     let routes: Vec<(Vec<u8>, u64)> = vec![
-        (vec![10], 1),              // 10.0.0.0/8        -> port 1
-        (vec![10, 42], 2),          // 10.42.0.0/16      -> port 2
-        (vec![10, 42, 7], 3),       // 10.42.7.0/24      -> port 3
-        (vec![10, 42, 7, 99], 4),   // 10.42.7.99/32     -> port 4
-        (vec![172, 16], 5),         // 172.16.0.0/16     -> port 5
-        (vec![192, 168, 1], 6),     // 192.168.1.0/24    -> port 6
+        (vec![10], 1),            // 10.0.0.0/8        -> port 1
+        (vec![10, 42], 2),        // 10.42.0.0/16      -> port 2
+        (vec![10, 42, 7], 3),     // 10.42.7.0/24      -> port 3
+        (vec![10, 42, 7, 99], 4), // 10.42.7.99/32     -> port 4
+        (vec![172, 16], 5),       // 172.16.0.0/16     -> port 5
+        (vec![192, 168, 1], 6),   // 192.168.1.0/24    -> port 6
     ];
     let fib = LpmTrie::build(sys.guest_mut(), &routes).expect("guest alloc");
-    println!("FIB installed: {} routes, header at {}", fib.routes(), fib.header_addr());
+    println!(
+        "FIB installed: {} routes, header at {}",
+        fib.routes(),
+        fib.header_addr()
+    );
 
     let fw = FirmwareStore::with_builtins();
     let packets = [
@@ -57,11 +61,15 @@ fn main() {
                 .filter(|(pre, hop)| *hop == port && p.starts_with(pre))
                 .max_by_key(|(pre, _)| pre.len())
                 .expect("route exists");
-            format!("{}/{}", fmt_ip(&{
-                let mut padded = [0u8; 4];
-                padded[..prefix.len()].copy_from_slice(prefix);
-                padded
-            }), prefix.len() * 8)
+            format!(
+                "{}/{}",
+                fmt_ip(&{
+                    let mut padded = [0u8; 4];
+                    padded[..prefix.len()].copy_from_slice(prefix);
+                    padded
+                }),
+                prefix.len() * 8
+            )
         };
         println!("{:<18} {:>6}  {}", fmt_ip(p), port, note);
     }

@@ -11,14 +11,24 @@
 //! ```
 
 use qei::prelude::*;
-use qei::workloads::rocksdb::RocksDbMem;
 
 fn main() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 11);
-    println!("inserting 10k records (100 B keys, 900 B values)...");
-    let db = RocksDbMem::build(sys.guest_mut(), 10_000, 400, 3);
+    let spec = WorkloadSpec::new(
+        11,
+        3,
+        WorkloadKind::RocksDbMem {
+            items: 10_000,
+            queries: 400,
+        },
+    );
+    let schemes = [Scheme::CoreIntegrated, Scheme::ChaTlb];
 
-    let baseline = sys.run_baseline(&db);
+    println!("inserting 10k records (100 B keys, 900 B values)...");
+    let mut plans = vec![RunPlan::baseline(spec)];
+    plans.extend(schemes.iter().map(|&s| RunPlan::qei(spec, s)));
+    let reports = Engine::paper().run_all(&plans);
+
+    let baseline = &reports[0];
     println!(
         "software Get()   : {:>9} cycles total, {:.0} cycles/lookup, IPC {:.2}",
         baseline.cycles,
@@ -26,8 +36,7 @@ fn main() {
         baseline.run.ipc()
     );
 
-    for scheme in [Scheme::CoreIntegrated, Scheme::ChaTlb] {
-        let qei = sys.run_qei(&db, scheme, None);
+    for (scheme, qei) in schemes.iter().zip(&reports[1..]) {
         let occ = qei.qst_occupancy * 100.0;
         println!(
             "{:16}: {:>9} cycles, {:.0} cycles/lookup ({:.2}x), QST occupancy {occ:.0}%",

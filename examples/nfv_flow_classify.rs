@@ -4,37 +4,56 @@
 //! hash table per tuple, every packet probed against all of them. This
 //! example runs the classifier three ways: unmodified software, blocking
 //! `QUERY_B`, and batched non-blocking `QUERY_NB` (the paper's Fig. 10
-//! configuration), and prints the throughput each achieves.
+//! configuration), and prints the throughput each achieves. All plans run
+//! through one parallel `Engine::run_all` batch.
 //!
 //! ```text
 //! cargo run --release --example nfv_flow_classify
 //! ```
 
 use qei::prelude::*;
-use qei::workloads::dpdk::TupleSpace;
 
 fn main() {
     let tuples = 10;
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 7);
+    let spec = WorkloadSpec::new(
+        7,
+        3,
+        WorkloadKind::TupleSpace {
+            tuples,
+            flows_per_table: 4_000,
+            packets: 100,
+        },
+    );
+    let schemes = [
+        Scheme::CoreIntegrated,
+        Scheme::ChaTlb,
+        Scheme::DeviceIndirect,
+    ];
+
     println!("building {tuples} tuple tables (cuckoo hash, 16 B keys)...");
-    let classifier = TupleSpace::build(sys.guest_mut(), tuples, 4_000, 100, 3);
-    let packets = classifier.jobs().len() / tuples;
+    let mut plans = vec![RunPlan::baseline(spec)];
+    for scheme in schemes {
+        plans.push(RunPlan::qei(spec, scheme));
+        // The paper polls every 32 keys: 32 x tuple_count requests in flight.
+        plans.push(RunPlan::qei_nonblocking(spec, scheme, 32 * tuples));
+    }
+    let reports = Engine::paper().run_all(&plans);
+
+    let baseline = &reports[0];
+    let packets = baseline.queries as usize / tuples;
     println!(
         "classifying {packets} packets x {tuples} tables = {} lookups",
-        classifier.jobs().len()
+        baseline.queries
     );
-
-    let baseline = sys.run_baseline(&classifier);
     let per_packet = baseline.cycles as f64 / packets as f64;
     println!(
         "software baseline : {:>9} cycles ({per_packet:.0} cycles/packet)",
         baseline.cycles
     );
 
-    for scheme in [Scheme::CoreIntegrated, Scheme::ChaTlb, Scheme::DeviceIndirect] {
-        let blocking = sys.run_qei(&classifier, scheme, None);
-        // The paper polls every 32 keys: 32 x tuple_count requests in flight.
-        let nb = sys.run_qei_nonblocking_batched(&classifier, scheme, None, 32 * tuples);
+    for (i, scheme) in schemes.iter().enumerate() {
+        let blocking = &reports[1 + 2 * i];
+        let nb = &reports[2 + 2 * i];
         println!(
             "{:16}: QUERY_B {:>9} cycles ({:.2}x)   QUERY_NB {:>9} cycles ({:.2}x)",
             scheme.label(),

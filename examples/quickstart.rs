@@ -16,8 +16,7 @@ fn main() {
     // 2. Build a chained hash table in guest memory. The structure carries a
     //    64-byte header (pointer, type, key length, hash seed…) that the
     //    accelerator parses before running the matching CFA.
-    let mut table =
-        ChainedHash::new(sys.guest_mut(), 1024, 16, 0xFEED).expect("guest alloc");
+    let mut table = ChainedHash::new(sys.guest_mut(), 1024, 16, 0xFEED).expect("guest alloc");
     for i in 0..5_000u64 {
         let key = format!("user-sess-{i:06}");
         table

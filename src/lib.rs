@@ -63,10 +63,12 @@ pub mod prelude {
         run_query, DsType, FaultCode, FirmwareStore, Header, QeiAccelerator, RESULT_NOT_FOUND,
     };
     pub use qei_datastructs::{
-        stage_key, AcTrie, BPlusTree, Bst, ChainedHash, CuckooHash, LinkedList, LpmTrie,
-        QueryDs, SkipList,
+        stage_key, AcTrie, BPlusTree, Bst, ChainedHash, CuckooHash, LinkedList, LpmTrie, QueryDs,
+        SkipList,
     };
     pub use qei_mem::{GuestMem, VirtAddr};
-    pub use qei_sim::{RunReport, System};
+    pub use qei_sim::{
+        ConfigOverrides, Engine, RunMode, RunPlan, RunReport, System, WorkloadKind, WorkloadSpec,
+    };
     pub use qei_workloads::{QueryJob, Workload};
 }

@@ -1,19 +1,33 @@
 //! Cross-crate integration tests: the full system driven through the facade.
 
 use qei::prelude::*;
-use qei::workloads::dpdk::DpdkFib;
-use qei::workloads::jvm::JvmGc;
+
+fn dpdk(flows: u64, queries: usize, guest_seed: u64, build_seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        guest_seed,
+        build_seed,
+        WorkloadKind::DpdkFib { flows, queries },
+    )
+}
+
+fn jvm(objects: u64, queries: usize, guest_seed: u64, build_seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        guest_seed,
+        build_seed,
+        WorkloadKind::JvmGc { objects, queries },
+    )
+}
 
 #[test]
 fn full_pipeline_baseline_and_all_schemes_agree() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 1);
-    let w = DpdkFib::build(sys.guest_mut(), 1_000, 120, 9);
-    let base = sys.run_baseline(&w);
+    let engine = Engine::paper();
+    let spec = dpdk(1_000, 120, 1, 9);
+    let base = engine.run(&RunPlan::baseline(spec));
     assert!(base.correct);
     for scheme in Scheme::ALL {
-        // run_qei panics internally on any functional mismatch, so a clean
-        // return *is* the agreement check.
-        let r = sys.run_qei(&w, scheme, None);
+        // The engine panics internally on any functional mismatch, so a
+        // clean return *is* the agreement check.
+        let r = engine.run(&RunPlan::qei(spec, scheme));
         assert!(r.correct, "{scheme}");
         assert!(r.cycles > 0);
         assert_eq!(r.queries, 120);
@@ -25,10 +39,10 @@ fn full_pipeline_baseline_and_all_schemes_agree() {
 
 #[test]
 fn nonblocking_agrees_with_blocking_results() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 2);
-    let w = DpdkFib::build(sys.guest_mut(), 500, 96, 10);
-    let b = sys.run_qei(&w, Scheme::ChaTlb, None);
-    let nb = sys.run_qei_nonblocking(&w, Scheme::ChaTlb, None);
+    let engine = Engine::paper();
+    let spec = dpdk(500, 96, 2, 10);
+    let b = engine.run(&RunPlan::qei(spec, Scheme::ChaTlb));
+    let nb = engine.run(&RunPlan::qei_nonblocking(spec, Scheme::ChaTlb, 32));
     assert!(b.correct && nb.correct);
     // Both executed the same stream; the accelerator stats agree on work.
     let (ab, anb) = (b.accel.unwrap(), nb.accel.unwrap());
@@ -38,20 +52,24 @@ fn nonblocking_agrees_with_blocking_results() {
 
 #[test]
 fn dense_tree_queries_show_the_headline_speedup() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 3);
-    let w = JvmGc::build(sys.guest_mut(), 60_000, 400, 11);
-    let base = sys.run_baseline(&w);
-    let qei = sys.run_qei(&w, Scheme::ChaTlb, None);
+    let engine = Engine::paper();
+    let spec = jvm(60_000, 400, 3, 11);
+    let base = engine.run(&RunPlan::baseline(spec));
+    let qei = engine.run(&RunPlan::qei(spec, Scheme::ChaTlb));
     let speedup = base.cycles as f64 / qei.cycles as f64;
     assert!(speedup > 3.0, "speedup {speedup:.2}");
 }
 
 #[test]
 fn device_scheme_trails_integrated_schemes() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 4);
-    let w = DpdkFib::build(sys.guest_mut(), 1_000, 150, 12);
-    let core = sys.run_qei(&w, Scheme::CoreIntegrated, None).cycles;
-    let dev = sys.run_qei(&w, Scheme::DeviceIndirect, None).cycles;
+    let engine = Engine::paper();
+    let spec = dpdk(1_000, 150, 4, 12);
+    let core = engine
+        .run(&RunPlan::qei(spec, Scheme::CoreIntegrated))
+        .cycles;
+    let dev = engine
+        .run(&RunPlan::qei(spec, Scheme::DeviceIndirect))
+        .cycles;
     assert!(
         dev > 2 * core,
         "device-indirect {dev} should clearly trail core-integrated {core}"
@@ -60,10 +78,9 @@ fn device_scheme_trails_integrated_schemes() {
 
 #[test]
 fn qst_occupancy_reflects_query_density() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 5);
     // JVM: dense queries, tiny surrounding work -> busy QST.
-    let w = JvmGc::build(sys.guest_mut(), 30_000, 300, 13);
-    let r = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+    let spec = jvm(30_000, 300, 5, 13);
+    let r = Engine::paper().run(&RunPlan::qei(spec, Scheme::CoreIntegrated));
     assert!(
         r.qst_occupancy > 0.3,
         "dense stream should keep the QST busy, got {:.2}",
@@ -73,12 +90,66 @@ fn qst_occupancy_reflects_query_density() {
 
 #[test]
 fn reports_expose_reusable_metrics() {
-    let mut sys = System::new(MachineConfig::skylake_sp_24(), 6);
-    let w = DpdkFib::build(sys.guest_mut(), 500, 80, 14);
-    let base = sys.run_baseline(&w);
+    let engine = Engine::paper();
+    let spec = dpdk(500, 80, 6, 14);
+    let base = engine.run(&RunPlan::baseline(spec));
     assert!(base.cycles_per_query() > 1.0);
     assert!(base.uops_per_query() > 30.0);
     assert!(base.end_to_end_cycles(4) > base.cycles as f64);
-    let qei = sys.run_qei(&w, Scheme::CoreIntegrated, None);
+    let qei = engine.run(&RunPlan::qei(spec, Scheme::CoreIntegrated));
     assert!(qei.uops_per_query() < base.uops_per_query());
+}
+
+#[test]
+fn stats_registry_carries_uniform_tree() {
+    let engine = Engine::paper();
+    let spec = dpdk(500, 80, 6, 14);
+    let base = engine.run(&RunPlan::baseline(spec));
+    // Baseline reports core + mem + run groups, no accelerator groups.
+    assert!(base.stats.get("core", "cycles").is_some());
+    assert!(base.stats.get("mem", "llc_accesses").is_some());
+    assert!(base.stats.get("run", "mode").is_some());
+    assert!(base.stats.get("accel", "queries").is_none());
+
+    let qei = engine.run(&RunPlan::qei(spec, Scheme::ChaTlb));
+    for (group, name) in [
+        ("run", "workload"),
+        ("run", "scheme"),
+        ("core", "cycles"),
+        ("mem", "l1_accesses"),
+        ("accel", "queries"),
+        ("noc", "bytes"),
+    ] {
+        assert!(
+            qei.stats.get(group, name).is_some(),
+            "missing {group}.{name}"
+        );
+    }
+    let json = qei.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"accel\"") && json.contains("\"scheme\":\"CHA-TLB\""));
+}
+
+#[test]
+fn serial_and_parallel_engines_produce_identical_reports() {
+    // The same plan list through a single-threaded engine and a parallel one
+    // must yield byte-identical JSON reports, in plan order — the determinism
+    // contract that makes sweep parallelism safe.
+    let specs = [dpdk(400, 60, 3, 11), jvm(8_000, 90, 4, 12)];
+    let mut plans = Vec::new();
+    for &spec in &specs {
+        plans.push(RunPlan::baseline(spec));
+        for scheme in Scheme::ALL {
+            plans.push(RunPlan::qei(spec, scheme));
+        }
+        plans.push(RunPlan::qei_nonblocking(spec, Scheme::ChaTlb, 16));
+    }
+    let serial = Engine::paper().with_threads(1).run_all(&plans);
+    let parallel = Engine::paper().with_threads(4).run_all(&plans);
+    assert_eq!(serial.len(), plans.len());
+    assert_eq!(parallel.len(), plans.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.workload, p.workload, "plan {i} order drifted");
+        assert_eq!(s.to_json(), p.to_json(), "plan {i} diverged");
+    }
 }

@@ -14,7 +14,8 @@ fn machine() -> (MachineConfig, GuestMem, MemoryHierarchy) {
 fn list_with_items(guest: &mut GuestMem, n: u64) -> LinkedList {
     let mut list = LinkedList::new(guest, 8).unwrap();
     for i in 0..n {
-        list.insert(guest, format!("k{i:07}").as_bytes(), i + 1).unwrap();
+        list.insert(guest, format!("k{i:07}").as_bytes(), i + 1)
+            .unwrap();
     }
     list
 }
@@ -116,7 +117,10 @@ fn interrupt_flush_aborts_nonblocking_queries_and_reissue_succeeds() {
         );
     }
     let flush_done = accel.flush(Cycles(1), &mut guest);
-    assert!(flush_done > Cycles(1), "flush takes time to write abort codes");
+    assert!(
+        flush_done > Cycles(1),
+        "flush takes time to write abort codes"
+    );
     assert_eq!(accel.stats().nb_aborts, 8);
     for i in 0..8u64 {
         let wire = guest.read_u64(results + i * 8).unwrap();
