@@ -4,32 +4,34 @@
 //! affordable; the `repro` binary runs the same entry points at paper
 //! scale. What is reported here is the *simulator's* cost of regenerating
 //! the figure — a regression guard on the harness itself — while the
-//! figure's content is printed once per bench for inspection.
+//! figure's content is printed once per bench for inspection. Results land
+//! in `BENCH_figures.json`.
 
-use qei_bench::harness::{bench, bench_with_setup};
+use qei_bench::BenchSuite;
 use qei_config::Scheme;
 use qei_experiments::{fig1, fig10, fig11, fig12, fig7, fig8, fig9, suite, Scale};
 use qei_sim::{Engine, RunPlan, WorkloadKind, WorkloadSpec};
 use std::hint::black_box;
 
 fn main() {
+    let mut bench = BenchSuite::from_args("figures");
     let data = suite::collect(Scale::Quick);
     let engine = Engine::paper();
 
     println!("{}", fig1::render(&data));
-    bench("fig1_profile", || black_box(fig1::rows(&data)));
+    bench.bench("fig1_profile", || black_box(fig1::rows(&data)));
 
     // The expensive part of fig7 is the run matrix; bench one representative
     // cell (JVM × CHA-TLB) end to end.
     println!("{}", fig7::render(&data));
     let jvm = suite::suite_specs(Scale::Quick)[1];
-    bench("fig7_jvm_cha_tlb_cell", || {
+    bench.bench("fig7_jvm_cha_tlb_cell", || {
         black_box(engine.run(&RunPlan::qei(jvm, Scheme::ChaTlb)).cycles)
     });
 
     println!("{}", fig8::render(Scale::Quick));
     let dpdk = suite::suite_specs(Scale::Quick)[0];
-    bench("fig8_device_indirect_point", || {
+    bench.bench("fig8_device_indirect_point", || {
         black_box(
             engine
                 .run(&RunPlan::qei(dpdk, Scheme::DeviceIndirect).with_device_latency(500))
@@ -38,7 +40,7 @@ fn main() {
     });
 
     println!("{}", fig9::render(&data));
-    bench("fig9_end_to_end", || black_box(fig9::rows(&data)));
+    bench.bench("fig9_end_to_end", || black_box(fig9::rows(&data)));
 
     println!("{}", fig10::render(fig10::Fig10Scale::quick()));
     let tuple5 = WorkloadSpec::new(
@@ -50,15 +52,17 @@ fn main() {
             packets: 20,
         },
     );
-    bench_with_setup(
+    bench.bench_with_setup(
         "fig10_five_tuples_nb",
         || RunPlan::qei_nonblocking(tuple5, Scheme::ChaTlb, 160),
         |plan| black_box(engine.run(&plan).cycles),
     );
 
     println!("{}", fig11::render(&data));
-    bench("fig11_instructions", || black_box(fig11::rows(&data)));
+    bench.bench("fig11_instructions", || black_box(fig11::rows(&data)));
 
     println!("{}", fig12::render(&data));
-    bench("fig12_dynamic_power", || black_box(fig12::rows(&data)));
+    bench.bench("fig12_dynamic_power", || black_box(fig12::rows(&data)));
+
+    bench.finish();
 }

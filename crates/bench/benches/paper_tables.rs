@@ -1,26 +1,30 @@
 //! Benches for the paper's tables (I, II, III) plus the analytic
-//! area/power model.
+//! area/power model. Results land in `BENCH_tables.json`.
 
-use qei_bench::harness::bench;
+use qei_bench::BenchSuite;
 use qei_experiments::{tab1, tab2, tab3};
 use qei_power::{qei_components, static_power_mw, total_area_mm2, QeiHwConfig};
 use std::hint::black_box;
 
 fn main() {
+    let mut suite = BenchSuite::from_args("tables");
+
     println!("{}", tab1::render());
-    bench("tab1_schemes", || black_box(tab1::render()));
+    suite.bench("tab1_schemes", || black_box(tab1::render()));
 
     println!("{}", tab2::render());
-    bench("tab2_machine", || black_box(tab2::render()));
+    suite.bench("tab2_machine", || black_box(tab2::render()));
 
     println!("{}", tab3::render());
-    bench("tab3_area_power", || {
+    suite.bench("tab3_area_power", || {
         let rows = tab3::rows();
         black_box(rows.len())
     });
     // The analytic model itself, per configuration.
-    bench("tab3_model_qei240", || {
+    suite.bench("tab3_model_qei240", || {
         let parts = qei_components(black_box(&QeiHwConfig::qei_240()));
         black_box(total_area_mm2(&parts) + static_power_mw(&parts))
     });
+
+    suite.finish();
 }

@@ -1,8 +1,9 @@
 //! Micro-benches of the substrate hot paths: guest memory, the query
-//! engines, the core model, and end-to-end query submission.
+//! engines, the core model, and end-to-end query submission. Results land
+//! in `BENCH_substrate.json`; run with `-- --check <baseline>` to gate on
+//! regressions.
 
-use qei_bench::harness::{bench, bench_with_setup};
-use qei_bench::{checksum, dpdk_fixture, jvm_fixture};
+use qei_bench::{checksum, dpdk_fixture, jvm_fixture, BenchSuite};
 use qei_cache::MemoryHierarchy;
 use qei_config::{Cycles, MachineConfig, Scheme};
 use qei_core::{run_query, FirmwareStore, QeiAccelerator};
@@ -12,23 +13,23 @@ use qei_mem::GuestMem;
 use qei_sim::{Engine, RunMode};
 use std::hint::black_box;
 
-fn bench_guest_memory() {
+fn bench_guest_memory(suite: &mut BenchSuite) {
     let mut mem = GuestMem::new(1);
     let buf = mem.alloc(1 << 20, 4096).unwrap();
     let mut i = 0u64;
-    bench("guest_read_u64", || {
+    suite.bench("guest_read_u64", || {
         i = (i + 64) % (1 << 20);
         black_box(mem.read_u64(buf + i).unwrap())
     });
     let data = [7u8; 64];
     let mut j = 0u64;
-    bench("guest_write_line", || {
+    suite.bench("guest_write_line", || {
         j = (j + 64) % (1 << 20);
         mem.write(buf + j, &data).unwrap();
     });
 }
 
-fn bench_functional_query() {
+fn bench_functional_query(suite: &mut BenchSuite) {
     let mut mem = GuestMem::new(2);
     let mut table = ChainedHash::new(&mut mem, 1024, 16, 0xFEED).unwrap();
     for i in 0..10_000u64 {
@@ -41,17 +42,17 @@ fn bench_functional_query() {
         .map(|i| stage_key(&mut mem, format!("bench-key-{:06}", i * 37).as_bytes()))
         .collect();
     let mut i = 0;
-    bench("functional_hash_query", || {
+    suite.bench("functional_hash_query", || {
         i = (i + 1) % keys.len();
         black_box(run_query(&fw, &mem, table.header_addr(), keys[i]).unwrap())
     });
     let key = format!("bench-key-{:06}", 703);
-    bench("software_hash_query", || {
+    suite.bench("software_hash_query", || {
         black_box(table.query_software(&mem, key.as_bytes()))
     });
 }
 
-fn bench_core_model() {
+fn bench_core_model(suite: &mut BenchSuite) {
     let config = MachineConfig::skylake_sp_24();
     let mut guest = GuestMem::new(3);
     let base = guest.alloc(1 << 20, 4096).unwrap();
@@ -61,7 +62,7 @@ fn bench_core_model() {
         trace.alu1(Some(l));
         trace.branch(1, i % 3 == 0, Some(l));
     }
-    bench_with_setup(
+    suite.bench_with_setup(
         "core_model_30k_uops",
         || {
             (
@@ -73,7 +74,7 @@ fn bench_core_model() {
     );
 }
 
-fn bench_accel_submission() {
+fn bench_accel_submission(suite: &mut BenchSuite) {
     let config = MachineConfig::skylake_sp_24();
     let mut guest = GuestMem::new(4);
     let mut table = ChainedHash::new(&mut guest, 512, 8, 0xAB).unwrap();
@@ -90,7 +91,7 @@ fn bench_accel_submission() {
         let mut accel = QeiAccelerator::new(&config, scheme, 0);
         let mut i = 0;
         let mut now = Cycles(0);
-        bench(&format!("accel_submit/{}", scheme.label()), || {
+        suite.bench(&format!("accel_submit/{}", scheme.label()), || {
             i = (i + 1) % keys.len();
             let out =
                 accel.submit_blocking(now, table.header_addr(), keys[i], &mut guest, &mut hier);
@@ -100,12 +101,12 @@ fn bench_accel_submission() {
     }
 }
 
-fn bench_full_runs() {
-    bench_with_setup("full_runs/dpdk_baseline", dpdk_fixture, |(mut sys, w)| {
+fn bench_full_runs(suite: &mut BenchSuite) {
+    suite.bench_with_setup("full_runs/dpdk_baseline", dpdk_fixture, |(mut sys, w)| {
         let r = Engine::run_workload(&mut sys, &w, RunMode::Baseline, None);
         black_box(checksum(&r))
     });
-    bench_with_setup(
+    suite.bench_with_setup(
         "full_runs/jvm_core_integrated",
         jvm_fixture,
         |(mut sys, w)| {
@@ -121,9 +122,11 @@ fn bench_full_runs() {
 }
 
 fn main() {
-    bench_guest_memory();
-    bench_functional_query();
-    bench_core_model();
-    bench_accel_submission();
-    bench_full_runs();
+    let mut suite = BenchSuite::from_args("substrate");
+    bench_guest_memory(&mut suite);
+    bench_functional_query(&mut suite);
+    bench_core_model(&mut suite);
+    bench_accel_submission(&mut suite);
+    bench_full_runs(&mut suite);
+    suite.finish();
 }

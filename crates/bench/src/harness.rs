@@ -2,18 +2,29 @@
 //!
 //! Each measured closure is warmed up once, then sampled repeatedly until a
 //! fixed time budget is spent (or a sample cap is hit), and min / mean /
-//! max per-call times are printed. `QEI_BENCH_BUDGET_MS` overrides the
-//! per-bench budget for quick smoke runs.
+//! median / max per-call times are printed. Every bench also returns its
+//! statistics as a [`BenchRecord`] so callers (see [`crate::report`]) can
+//! serialize them and gate on regressions. `QEI_BENCH_BUDGET_MS` overrides
+//! the per-bench budget for quick smoke runs.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use crate::report::BenchRecord;
+
 /// Per-bench sampling budget.
 fn budget() -> Duration {
-    let ms = std::env::var("QEI_BENCH_BUDGET_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(500u64);
+    const DEFAULT_MS: u64 = 500;
+    let ms = match std::env::var("QEI_BENCH_BUDGET_MS") {
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "warning: QEI_BENCH_BUDGET_MS={raw:?} is not a whole number of \
+                 milliseconds; using the default {DEFAULT_MS}"
+            );
+            DEFAULT_MS
+        }),
+        Err(_) => DEFAULT_MS,
+    };
     Duration::from_millis(ms)
 }
 
@@ -32,20 +43,35 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// Median of a sample set (mean of the two central samples when even).
+fn median(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    match sorted.len() {
+        0 => Duration::ZERO,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2,
+    }
+}
+
 /// Times `f` (no per-call setup) and prints one result line.
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
-    bench_with_setup(name, || (), |()| f());
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchRecord {
+    bench_with_setup(name, || (), |()| f())
 }
 
 /// Times `f` with a fresh, untimed `setup` product per call and prints one
 /// result line.
-pub fn bench_with_setup<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) {
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> BenchRecord {
     // Warm-up call: first-touch costs (page faults, lazy init) stay out of
     // the samples.
     black_box(f(setup()));
 
     let budget = budget();
-    let mut samples = Vec::new();
+    let mut samples = Vec::with_capacity(MAX_SAMPLES);
     let started = Instant::now();
     while samples.len() < MAX_SAMPLES && (samples.is_empty() || started.elapsed() < budget) {
         let input = setup();
@@ -57,13 +83,23 @@ pub fn bench_with_setup<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: i
     let min = samples.iter().min().copied().unwrap_or_default();
     let max = samples.iter().max().copied().unwrap_or_default();
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let med = median(&samples);
     println!(
-        "bench {name:40} {:>10} min  {:>10} mean  {:>10} max  ({} samples)",
+        "bench {name:40} {:>10} min  {:>10} median  {:>10} mean  {:>10} max  ({} samples)",
         format_duration(min),
+        format_duration(med),
         format_duration(mean),
         format_duration(max),
         samples.len()
     );
+    BenchRecord {
+        name: name.to_owned(),
+        min_ns: min.as_nanos() as f64,
+        mean_ns: mean.as_nanos() as f64,
+        median_ns: med.as_nanos() as f64,
+        max_ns: max.as_nanos() as f64,
+        samples: samples.len(),
+    }
 }
 
 #[cfg(test)]
@@ -79,10 +115,22 @@ mod tests {
     }
 
     #[test]
+    fn median_handles_odd_even_and_empty() {
+        let ms = Duration::from_millis;
+        assert_eq!(median(&[]), Duration::ZERO);
+        assert_eq!(median(&[ms(3)]), ms(3));
+        assert_eq!(median(&[ms(9), ms(1), ms(3)]), ms(3));
+        assert_eq!(median(&[ms(1), ms(9), ms(3), ms(5)]), ms(4));
+    }
+
+    #[test]
     fn bench_runs_and_counts() {
         // Just exercise the path with a trivial closure.
         std::env::set_var("QEI_BENCH_BUDGET_MS", "1");
-        bench("noop", || 1 + 1);
+        let rec = bench("noop", || 1 + 1);
         std::env::remove_var("QEI_BENCH_BUDGET_MS");
+        assert_eq!(rec.name, "noop");
+        assert!(rec.samples >= 1);
+        assert!(rec.min_ns <= rec.median_ns && rec.median_ns <= rec.max_ns);
     }
 }

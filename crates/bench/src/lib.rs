@@ -10,6 +10,9 @@ use qei_workloads::jvm::JvmGc;
 use qei_workloads::Workload;
 
 pub mod harness;
+pub mod report;
+
+pub use report::{BenchRecord, BenchSuite};
 
 /// A pre-built DPDK bench fixture (bench-sized: small enough for tight
 /// iteration, large enough to exercise the full path).

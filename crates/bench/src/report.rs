@@ -1,0 +1,538 @@
+//! Bench results as data: a [`BenchSuite`] session collects the
+//! [`BenchRecord`]s a bench binary produces, writes them to a deterministic
+//! `BENCH_<suite>.json` report, and — in `--check <baseline>` mode — fails
+//! the process when any bench's mean time regresses past a threshold
+//! relative to a committed baseline report.
+//!
+//! No serde: the environment is offline, so the encoder mirrors
+//! `StatsRegistry`'s hand-rolled style (sorted keys, `{:?}` float
+//! formatting) and the decoder is the ~80-line recursive-descent parser
+//! below, covering exactly the subset the reports use (objects, strings,
+//! numbers).
+//!
+//! CLI (arguments after `cargo bench --`):
+//!
+//! * `--check <path>` — compare against a baseline `BENCH_<suite>.json`
+//!   (or a directory containing one) and exit non-zero on regression;
+//! * `--threshold <pct>` — mean-time regression tolerance in percent
+//!   (default 25).
+//!
+//! `QEI_BENCH_OUT` names the directory reports are written to (default:
+//! the workspace root). Relative paths resolve against the workspace root,
+//! not the bench binary's working directory.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Statistics for one measured bench, in nanoseconds per call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Bench name as printed (e.g. `accel_submit/CHA-TLB`).
+    pub name: String,
+    /// Fastest sampled call.
+    pub min_ns: f64,
+    /// Mean over all samples — the statistic the regression gate compares.
+    pub mean_ns: f64,
+    /// Median over all samples (robust against scheduler outliers).
+    pub median_ns: f64,
+    /// Slowest sampled call.
+    pub max_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+}
+
+/// Default mean-regression tolerance, in percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// A bench binary's result session: collects records, then writes the
+/// report and runs the optional regression check in [`BenchSuite::finish`].
+#[derive(Debug)]
+pub struct BenchSuite {
+    name: &'static str,
+    records: Vec<BenchRecord>,
+    check: Option<PathBuf>,
+    threshold_pct: f64,
+}
+
+impl BenchSuite {
+    /// Opens a suite, parsing `--check` / `--threshold` from the process
+    /// arguments. Unknown arguments (cargo's own flags) are ignored.
+    pub fn from_args(name: &'static str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_arg_slice(name, &args)
+    }
+
+    fn from_arg_slice(name: &'static str, args: &[String]) -> Self {
+        let mut suite = BenchSuite {
+            name,
+            records: Vec::new(),
+            check: None,
+            threshold_pct: DEFAULT_THRESHOLD_PCT,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--check" => {
+                    i += 1;
+                    match args.get(i) {
+                        Some(p) => suite.check = Some(PathBuf::from(p)),
+                        None => eprintln!("warning: --check takes a baseline path; ignored"),
+                    }
+                }
+                "--threshold" => {
+                    i += 1;
+                    match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                        Some(pct) if pct >= 0.0 => suite.threshold_pct = pct,
+                        _ => eprintln!(
+                            "warning: --threshold takes a non-negative percentage; using {DEFAULT_THRESHOLD_PCT}"
+                        ),
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        suite
+    }
+
+    /// Times `f` via [`crate::harness::bench`] and records the result.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+        let rec = crate::harness::bench(name, f);
+        self.records.push(rec);
+    }
+
+    /// Times `f` with per-call setup via [`crate::harness::bench_with_setup`]
+    /// and records the result.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        setup: impl FnMut() -> S,
+        f: impl FnMut(S) -> T,
+    ) {
+        let rec = crate::harness::bench_with_setup(name, setup, f);
+        self.records.push(rec);
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Writes `BENCH_<suite>.json`, runs the `--check` comparison if one was
+    /// requested, and exits the process non-zero on regression or I/O
+    /// failure. Call as the last statement of a bench `main`.
+    pub fn finish(self) {
+        let out_dir = resolve_against_workspace(
+            &std::env::var_os("QEI_BENCH_OUT")
+                .map(PathBuf::from)
+                .unwrap_or_default(),
+        );
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("error: cannot create {}: {e}", out_dir.display());
+            std::process::exit(1);
+        }
+        let out_path = out_dir.join(format!("BENCH_{}.json", self.name));
+        let mut body = render_report(self.name, &self.records);
+        body.push('\n');
+        if let Err(e) = std::fs::write(&out_path, body) {
+            eprintln!("error: cannot write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+        println!("bench report written to {}", out_path.display());
+
+        let Some(baseline) = &self.check else { return };
+        let mut baseline = resolve_against_workspace(baseline);
+        if baseline.is_dir() {
+            baseline = baseline.join(format!("BENCH_{}.json", self.name));
+        }
+        let text = match std::fs::read_to_string(&baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", baseline.display());
+                std::process::exit(1);
+            }
+        };
+        match compare(&self.records, &text, self.threshold_pct) {
+            Ok(outcome) => {
+                println!(
+                    "check vs {} (mean-time threshold +{}%)",
+                    baseline.display(),
+                    self.threshold_pct
+                );
+                for line in &outcome.lines {
+                    println!("  {line}");
+                }
+                if outcome.regressed.is_empty() {
+                    println!("check passed: no bench regressed past the threshold");
+                } else {
+                    eprintln!(
+                        "check FAILED: {} bench(es) regressed past +{}%: {}",
+                        outcome.regressed.len(),
+                        self.threshold_pct,
+                        outcome.regressed.join(", ")
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: baseline {}: {e}", baseline.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The workspace root, independent of the bench binary's working directory
+/// (cargo runs bench targets from the package directory).
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn resolve_against_workspace(p: &Path) -> PathBuf {
+    if p.as_os_str().is_empty() {
+        workspace_root().to_path_buf()
+    } else if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        workspace_root().join(p)
+    }
+}
+
+// --- report encoding -------------------------------------------------------
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the deterministic report: benches in sorted order, fields in
+/// sorted order, `{:?}` float formatting (matching `StatsRegistry`).
+pub fn render_report(suite: &str, records: &[BenchRecord]) -> String {
+    let sorted: BTreeMap<&str, &BenchRecord> =
+        records.iter().map(|r| (r.name.as_str(), r)).collect();
+    let mut out = String::from("{");
+    let _ = write!(out, "\"benches\":{{");
+    for (i, (name, r)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"max_ns\":{:?},\"mean_ns\":{:?},\"median_ns\":{:?},\"min_ns\":{:?},\"samples\":{}}}",
+            json_string(name),
+            r.max_ns,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.samples
+        );
+    }
+    let _ = write!(out, "}},\"suite\":{}}}", json_string(suite));
+    out
+}
+
+// --- report decoding -------------------------------------------------------
+
+/// The JSON subset the reports use.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => {
+                    return Err(format!(
+                        "unexpected {other:?} in object at byte {}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(&c) => out.push(c as char),
+                        None => return Err("unterminated escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through byte-wise; bench names
+                    // are ASCII in practice.
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Ok(v)
+    } else {
+        Err(format!("trailing data at byte {}", p.pos))
+    }
+}
+
+/// Mean times per bench from a baseline report body.
+fn baseline_means(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let Json::Obj(root) = parse_json(text)? else {
+        return Err("report root is not an object".into());
+    };
+    let Some(Json::Obj(benches)) = root.get("benches") else {
+        return Err("report has no \"benches\" object".into());
+    };
+    let mut means = BTreeMap::new();
+    for (name, entry) in benches {
+        let Json::Obj(fields) = entry else {
+            return Err(format!("bench {name:?} is not an object"));
+        };
+        let Some(Json::Num(mean)) = fields.get("mean_ns") else {
+            return Err(format!("bench {name:?} has no numeric mean_ns"));
+        };
+        means.insert(name.clone(), *mean);
+    }
+    Ok(means)
+}
+
+/// Result of comparing a run against a baseline.
+struct CompareOutcome {
+    /// Human-readable per-bench lines, in sorted bench order.
+    lines: Vec<String>,
+    /// Names of benches whose mean regressed past the threshold.
+    regressed: Vec<String>,
+}
+
+/// Compares current records against a baseline report body. Benches present
+/// only on one side are reported but never fail the check.
+fn compare(
+    current: &[BenchRecord],
+    baseline_text: &str,
+    threshold_pct: f64,
+) -> Result<CompareOutcome, String> {
+    let baseline = baseline_means(baseline_text)?;
+    let current: BTreeMap<&str, &BenchRecord> =
+        current.iter().map(|r| (r.name.as_str(), r)).collect();
+    let mut lines = Vec::new();
+    let mut regressed = Vec::new();
+    for (name, rec) in &current {
+        let Some(&base_mean) = baseline.get(*name) else {
+            lines.push(format!("{name:40} new bench (no baseline entry)"));
+            continue;
+        };
+        let delta_pct = if base_mean > 0.0 {
+            (rec.mean_ns - base_mean) / base_mean * 100.0
+        } else if rec.mean_ns > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        let fail = delta_pct > threshold_pct;
+        lines.push(format!(
+            "{name:40} {:>12.1}ns mean vs {:>12.1}ns baseline  ({delta_pct:+.1}%)  {}",
+            rec.mean_ns,
+            base_mean,
+            if fail { "REGRESSED" } else { "ok" }
+        ));
+        if fail {
+            regressed.push((*name).to_owned());
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name.as_str()) {
+            lines.push(format!("{name:40} in baseline but not measured this run"));
+        }
+    }
+    Ok(CompareOutcome { lines, regressed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, mean_ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_owned(),
+            min_ns: mean_ns * 0.8,
+            mean_ns,
+            median_ns: mean_ns * 0.95,
+            max_ns: mean_ns * 1.5,
+            samples: 50,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let records = [rec("b/two", 120.5), rec("a_one", 60.0)];
+        let body = render_report("substrate", &records);
+        // Benches sort by name regardless of record order.
+        assert!(body.find("a_one").unwrap() < body.find("b/two").unwrap());
+        let means = baseline_means(&body).unwrap();
+        assert_eq!(means.len(), 2);
+        assert_eq!(means["a_one"], 60.0);
+        assert_eq!(means["b/two"], 120.5);
+    }
+
+    #[test]
+    fn render_is_deterministic_across_record_order() {
+        let a = render_report("s", &[rec("x", 1.0), rec("y", 2.0)]);
+        let b = render_report("s", &[rec("y", 2.0), rec("x", 1.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compare_flags_only_past_threshold_regressions() {
+        let baseline = render_report("s", &[rec("fast", 100.0), rec("slow", 100.0)]);
+        // fast regresses 10% (within 25%), slow regresses 60% (fails).
+        let outcome = compare(&[rec("fast", 110.0), rec("slow", 160.0)], &baseline, 25.0).unwrap();
+        assert_eq!(outcome.regressed, vec!["slow".to_owned()]);
+        assert!(outcome.lines.iter().any(|l| l.contains("REGRESSED")));
+    }
+
+    #[test]
+    fn compare_tolerates_new_and_missing_benches() {
+        let baseline = render_report("s", &[rec("old", 100.0)]);
+        let outcome = compare(&[rec("new", 5_000.0)], &baseline, 25.0).unwrap();
+        assert!(outcome.regressed.is_empty());
+        assert!(outcome.lines.iter().any(|l| l.contains("new bench")));
+        assert!(outcome.lines.iter().any(|l| l.contains("not measured")));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let baseline = render_report("s", &[rec("b", 100.0)]);
+        let outcome = compare(&[rec("b", 10.0)], &baseline, 0.0).unwrap();
+        assert!(outcome.regressed.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(baseline_means("{\"suite\":\"s\"}").is_err());
+    }
+
+    #[test]
+    fn arg_parsing_reads_check_and_threshold() {
+        let args: Vec<String> = ["--quiet", "--check", "base.json", "--threshold", "50"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let suite = BenchSuite::from_arg_slice("s", &args);
+        assert_eq!(suite.check.as_deref(), Some(Path::new("base.json")));
+        assert_eq!(suite.threshold_pct, 50.0);
+        let plain = BenchSuite::from_arg_slice("s", &[]);
+        assert!(plain.check.is_none());
+        assert_eq!(plain.threshold_pct, DEFAULT_THRESHOLD_PCT);
+    }
+}

@@ -1,5 +1,24 @@
 //! A set-associative cache tag store with true-LRU replacement and
 //! write-back dirty tracking.
+//!
+//! Storage is a two-level flat arena, like [`qei_mem`]'s physical memory: a
+//! per-set index (`set_slot`, 4 bytes per set, 0 = never touched) points
+//! into dense `tags` / `stamps` / `dirty` arrays that grow by one `ways`-
+//! sized group the first time a set is accessed. Construction therefore
+//! touches memory proportional to the *set count* (a few KB even for a
+//! 33 MB LLC slice), and steady-state accesses are a single forward scan of
+//! at most `ways` contiguous slots — no per-set `Vec`s, no per-access
+//! allocation, no element shifting. Hierarchies are constructed inside
+//! measured runs, so both properties matter: a naive `n_sets * ways` flat
+//! preallocation costs a multi-megabyte zeroing (or, via `alloc_zeroed`,
+//! the same cost again as first-touch page faults) per run.
+//!
+//! Recency is tracked with monotonically increasing age stamps: a hit
+//! restamps its slot, and the miss victim is the slot with the smallest
+//! stamp (an empty slot carries stamp 0, so sets fill before they evict).
+//! This is observationally identical to an MRU-ordered list — the victim is
+//! always the least-recently-accessed line. `tests/lru_equivalence.rs` pins
+//! the equivalence against a reference MRU-list model.
 
 use qei_config::{CacheParams, Ratio};
 
@@ -7,10 +26,25 @@ use qei_config::{CacheParams, Ratio};
 /// functionally coherent by construction); the cache decides *timing* only.
 #[derive(Debug, Clone)]
 pub struct SetCache {
-    // Per set: MRU-ordered (line_addr, dirty) entries.
-    sets: Vec<Vec<(u64, bool)>>,
+    /// Per-set handle into the dense arrays: 0 = set never touched, else
+    /// `dense_group + 1` where the set's slots live at
+    /// `dense_group * ways ..`.
+    set_slot: Box<[u32]>,
+    /// Line address per allocated slot; meaningful only when the slot's
+    /// stamp is non-zero.
+    tags: Vec<u64>,
+    /// Age of each allocated slot's last access (0 = empty slot).
+    stamps: Vec<u64>,
+    /// Dirty flag per allocated slot.
+    dirty: Vec<bool>,
+    n_sets: u64,
+    /// `n_sets - 1` when the set count is a power of two, else 0 — lets the
+    /// common geometry index with a mask instead of a division.
+    set_mask: u64,
     ways: usize,
     latency: u64,
+    /// Global age counter; incremented once per [`SetCache::access`].
+    clock: u64,
     stats: CacheStats,
 }
 
@@ -48,11 +82,22 @@ impl SetCache {
             lines.is_multiple_of(params.ways as u64),
             "geometry must divide evenly"
         );
-        let n_sets = (lines / params.ways as u64) as usize;
+        let n_sets = lines / params.ways as u64;
+        assert!(n_sets <= u32::MAX as u64, "set count overflows the index");
         SetCache {
-            sets: vec![Vec::with_capacity(params.ways as usize); n_sets],
+            set_slot: vec![0u32; n_sets as usize].into_boxed_slice(),
+            tags: Vec::new(),
+            stamps: Vec::new(),
+            dirty: Vec::new(),
+            n_sets,
+            set_mask: if n_sets.is_power_of_two() {
+                n_sets - 1
+            } else {
+                0
+            },
             ways: params.ways as usize,
             latency: params.latency,
+            clock: 0,
             stats: CacheStats::default(),
         }
     }
@@ -62,35 +107,80 @@ impl SetCache {
         self.latency
     }
 
+    #[inline]
     fn set_index(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+        (if self.set_mask != 0 {
+            line & self.set_mask
+        } else {
+            line % self.n_sets
+        }) as usize
+    }
+
+    /// Base slot of `line`'s set in the dense arrays, if the set has ever
+    /// been touched.
+    #[inline]
+    fn dense_base(&self, line: u64) -> Option<usize> {
+        match self.set_slot[self.set_index(line)] {
+            0 => None,
+            group => Some((group as usize - 1) * self.ways),
+        }
+    }
+
+    /// Base slot of `line`'s set, allocating the set's dense group on first
+    /// touch.
+    #[inline]
+    fn dense_base_or_alloc(&mut self, line: u64) -> usize {
+        let set = self.set_index(line);
+        match self.set_slot[set] {
+            0 => {
+                let group = self.tags.len() / self.ways;
+                self.set_slot[set] = group as u32 + 1;
+                self.tags.resize(self.tags.len() + self.ways, 0);
+                self.stamps.resize(self.stamps.len() + self.ways, 0);
+                self.dirty.resize(self.dirty.len() + self.ways, false);
+                group * self.ways
+            }
+            group => (group as usize - 1) * self.ways,
+        }
     }
 
     /// Accesses `line` (a 64 B-aligned line address divided by 64), filling on
-    /// miss. `write` marks the line dirty.
+    /// miss. `write` marks the line dirty. One pass over the set: the same
+    /// scan that finds the line also finds the fill/victim slot.
     pub fn access(&mut self, line: u64, write: bool) -> Touch {
-        let ways = self.ways;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
-            let (l, d) = set.remove(pos);
-            set.insert(0, (l, d || write));
-            self.stats.accesses.record(true);
-            return Touch {
-                hit: true,
-                writeback: None,
-            };
-        }
-        set.insert(0, (line, write));
-        let mut writeback = None;
-        if set.len() > ways {
-            let (evicted, dirty) = set.pop().expect("overfull set");
-            self.stats.evictions += 1;
-            if dirty {
-                self.stats.writebacks += 1;
-                writeback = Some(evicted);
+        let base = self.dense_base_or_alloc(line);
+        self.clock += 1;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for idx in base..base + self.ways {
+            let stamp = self.stamps[idx];
+            if stamp != 0 && self.tags[idx] == line {
+                self.stamps[idx] = self.clock;
+                self.dirty[idx] |= write;
+                self.stats.accesses.record(true);
+                return Touch {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+            if stamp < victim_stamp {
+                victim_stamp = stamp;
+                victim = idx;
             }
         }
+        // Miss: fill an empty slot if the set has one (stamp 0 always loses
+        // the min-stamp race), otherwise evict the LRU line.
+        let mut writeback = None;
+        if victim_stamp != 0 {
+            self.stats.evictions += 1;
+            if self.dirty[victim] {
+                self.stats.writebacks += 1;
+                writeback = Some(self.tags[victim]);
+            }
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
+        self.dirty[victim] = write;
         self.stats.accesses.record(false);
         Touch {
             hit: false,
@@ -100,22 +190,26 @@ impl SetCache {
 
     /// Probes residency without changing state.
     pub fn probe(&self, line: u64) -> bool {
-        self.sets[self.set_index(line)]
-            .iter()
-            .any(|&(l, _)| l == line)
+        self.dense_base(line).is_some_and(|base| {
+            (base..base + self.ways).any(|idx| self.stamps[idx] != 0 && self.tags[idx] == line)
+        })
     }
 
     /// Invalidates a single line (back-invalidation), returning whether it
     /// was dirty.
     pub fn invalidate(&mut self, line: u64) -> bool {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
-            let (_, dirty) = set.remove(pos);
-            dirty
-        } else {
-            false
+        let Some(base) = self.dense_base(line) else {
+            return false;
+        };
+        for idx in base..base + self.ways {
+            if self.stamps[idx] != 0 && self.tags[idx] == line {
+                let dirty = self.dirty[idx];
+                self.stamps[idx] = 0;
+                self.dirty[idx] = false;
+                return dirty;
+            }
         }
+        false
     }
 
     /// Accumulated statistics.
@@ -125,7 +219,7 @@ impl SetCache {
 
     /// Number of resident lines (for occupancy assertions in tests).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.stamps.iter().filter(|&&s| s != 0).count()
     }
 }
 
@@ -194,5 +288,72 @@ mod tests {
         assert!(!c.invalidate(4));
         assert!(!c.invalidate(12)); // absent
         assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn probe_and_invalidate_of_untouched_sets_allocate_nothing() {
+        let mut c = tiny();
+        assert!(!c.probe(3));
+        assert!(!c.invalidate(3));
+        assert_eq!(c.resident_lines(), 0);
+        assert!(c.tags.is_empty(), "read-only paths must not allocate sets");
+    }
+
+    #[test]
+    fn refilled_slot_does_not_inherit_the_old_dirty_bit() {
+        let mut c = tiny();
+        c.access(0, true); // dirty line in set 0
+        assert!(c.invalidate(0));
+        c.access(8, false); // clean refill of the same slot
+        c.access(4, false);
+        let t = c.access(0, false); // evicts clean 8
+        assert_eq!(t.writeback, None, "stale dirty bit leaked into refill");
+    }
+
+    #[test]
+    fn eviction_order_is_true_lru_at_four_ways() {
+        // One set of 4 ways: every line maps to set 0.
+        let mut c = SetCache::new(CacheParams {
+            size_bytes: 256,
+            ways: 4,
+            line_bytes: 64,
+            latency: 4,
+        });
+        // Fill: recency order (oldest first) is 0, 1, 2, 3.
+        for line in 0..4 {
+            assert!(!c.access(line, false).hit);
+        }
+        // Touch 0: recency order becomes 1, 2, 3, 0.
+        assert!(c.access(0, false).hit);
+        // Overflow: the victim must be 1, not the first-filled 0.
+        assert!(!c.access(4, false).hit);
+        assert!(!c.probe(1), "LRU line 1 should have been evicted");
+        for line in [0, 2, 3, 4] {
+            assert!(c.probe(line), "line {line} should survive");
+        }
+        // Next overflows follow the recency chain: 2, then 3.
+        c.access(5, false);
+        assert!(!c.probe(2));
+        c.access(6, false);
+        assert!(!c.probe(3));
+        assert!(c.probe(0), "recently touched 0 still outlives 2 and 3");
+        assert_eq!(c.stats().evictions, 3);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_indexes_by_modulo() {
+        // 6 sets x 2 ways: lines 1 and 7 collide (7 % 6 == 1), 1 and 3 do not.
+        let mut c = SetCache::new(CacheParams {
+            size_bytes: 768,
+            ways: 2,
+            line_bytes: 64,
+            latency: 4,
+        });
+        c.access(1, false);
+        c.access(7, false);
+        c.access(13, false); // third line of set 1: evicts line 1
+        assert!(!c.probe(1));
+        assert!(c.probe(7) && c.probe(13));
+        assert_eq!(c.resident_lines(), 2);
     }
 }

@@ -8,6 +8,7 @@
 //! repro --quick all    # small datasets (smoke run)
 //! repro --serial all   # run every plan on one thread
 //! repro --jobs 4 all   # cap the plan-execution workers at 4
+//! repro --profile fig7 # print per-phase wall time per plan to stderr
 //! ```
 
 use qei_experiments::{
@@ -18,7 +19,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--serial | --jobs N] <experiment|all>\n  experiments: {}",
+        "usage: repro [--quick] [--profile] [--serial | --jobs N] <experiment|all>\n  experiments: {}",
         qei_experiments::ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -30,6 +31,9 @@ fn main() {
     args.retain(|a| {
         if a == "--quick" {
             scale = Scale::Quick;
+            false
+        } else if a == "--profile" {
+            qei_sim::engine::set_profiling(true);
             false
         } else {
             true

@@ -14,7 +14,7 @@ use qei_config::SimRng;
 const WINDOW_FRAMES: usize = 512;
 
 /// A deterministic, fragmenting physical frame allocator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrameAlloc {
     rng: SimRng,
     next_window_base: u64,

@@ -1,11 +1,15 @@
 //! `GuestMem`: the combined guest environment — physical memory, one address
 //! space, the frame allocator, and a bump heap for guest data structures.
 
-use crate::addr::{PhysAddr, VirtAddr, PAGE_BYTES};
+use crate::addr::{PhysAddr, VirtAddr, PAGE_BYTES, PAGE_SHIFT};
 use crate::error::MemError;
 use crate::frame::FrameAlloc;
 use crate::phys::PhysMem;
 use crate::space::AddressSpace;
+use std::cell::Cell;
+
+/// Sentinel VPN for an empty translation cache (no real VPN reaches 2^52).
+const NO_VPN: u64 = u64::MAX;
 
 /// Base virtual address of the guest heap (an arbitrary canonical address;
 /// nonzero so allocation never returns a null-looking pointer).
@@ -29,12 +33,18 @@ const HEAP_LIMIT: u64 = 16 << 30;
 /// mem.write_u64(node + 8, 0x22).unwrap();
 /// assert_eq!(mem.read_u64(node + 8).unwrap(), 0x22);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GuestMem {
     phys: PhysMem,
     space: AddressSpace,
     frames: FrameAlloc,
     brk: u64,
+    /// One-entry software translation cache — `(vpn, pfn)` of the last
+    /// successful translation on the functional access path. Mappings are
+    /// only ever added (never changed or removed), so a cached entry can go
+    /// stale-empty but never wrong. Purely functional: the *timing* models
+    /// keep their own TLBs.
+    last_xlate: Cell<(u64, u64)>,
 }
 
 impl GuestMem {
@@ -45,6 +55,7 @@ impl GuestMem {
             space: AddressSpace::new(),
             frames: FrameAlloc::new(seed),
             brk: HEAP_BASE,
+            last_xlate: Cell::new((NO_VPN, 0)),
         }
     }
 
@@ -90,7 +101,17 @@ impl GuestMem {
 
     /// Translates `va`, failing like hardware would.
     pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, MemError> {
-        self.space.translate(va)
+        if va.is_null() {
+            return Err(MemError::NullDeref);
+        }
+        let vpn = va.vpn();
+        let (cached_vpn, cached_pfn) = self.last_xlate.get();
+        if vpn == cached_vpn {
+            return Ok(PhysAddr((cached_pfn << PAGE_SHIFT) | va.page_offset()));
+        }
+        let pa = self.space.translate(va)?;
+        self.last_xlate.set((vpn, pa.0 >> PAGE_SHIFT));
+        Ok(pa)
     }
 
     /// Reads `buf.len()` bytes at virtual address `va`.
@@ -103,7 +124,7 @@ impl GuestMem {
         let mut addr = va;
         let mut done = 0usize;
         while done < buf.len() {
-            let pa = self.space.translate(addr)?;
+            let pa = self.translate(addr)?;
             let n = ((PAGE_BYTES - addr.page_offset()) as usize).min(buf.len() - done);
             self.phys.read(pa, &mut buf[done..done + n]);
             done += n;
@@ -121,7 +142,7 @@ impl GuestMem {
         let mut addr = va;
         let mut done = 0usize;
         while done < buf.len() {
-            let pa = self.space.translate(addr)?;
+            let pa = self.translate(addr)?;
             let n = ((PAGE_BYTES - addr.page_offset()) as usize).min(buf.len() - done);
             self.phys.write(pa, &buf[done..done + n]);
             done += n;
@@ -313,5 +334,35 @@ mod tests {
     fn heap_exhaustion() {
         let mut m = GuestMem::new(2);
         assert_eq!(m.alloc(u64::MAX / 2, 8), Err(MemError::OutOfMemory));
+    }
+
+    #[test]
+    fn translation_cache_agrees_with_page_table() {
+        let mut m = GuestMem::new(2);
+        let a = m.alloc(PAGE_BYTES, 8).unwrap();
+        assert!(m.read_u64(a).is_ok()); // warms the one-entry cache on a's page
+        let b = m.alloc(4 * PAGE_BYTES, 4096).unwrap(); // adds fresh mappings
+        m.write_u64(b + 3 * PAGE_BYTES, 7).unwrap();
+        assert_eq!(m.read_u64(b + 3 * PAGE_BYTES).unwrap(), 7);
+        // Cached and uncached translations always agree.
+        for &va in &[a, b, b + 3 * PAGE_BYTES] {
+            assert_eq!(m.translate(va).unwrap(), m.space().translate(va).unwrap());
+            assert_eq!(m.translate(va).unwrap(), m.space().translate(va).unwrap());
+        }
+    }
+
+    #[test]
+    fn clone_snapshots_image_and_allocator_state() {
+        let mut m = GuestMem::new(2);
+        let p = m.alloc(64, 8).unwrap();
+        m.write_u64(p, 1).unwrap();
+        let mut c = m.clone();
+        m.write_u64(p, 2).unwrap();
+        assert_eq!(c.read_u64(p).unwrap(), 1, "clone is an independent image");
+        // The clone continues allocating exactly where the original does.
+        let q_orig = m.alloc(64, 8).unwrap();
+        let q_clone = c.alloc(64, 8).unwrap();
+        assert_eq!(q_orig, q_clone);
+        assert_eq!(m.translate(q_orig).unwrap(), c.translate(q_clone).unwrap());
     }
 }

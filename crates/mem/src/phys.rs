@@ -1,16 +1,35 @@
-//! Simulated physical memory: a sparse set of 4 KB frames.
+//! Simulated physical memory: 4 KB frames in one flat arena.
+//!
+//! Frames are materialized on first write into a single contiguous byte
+//! arena, with a flat `pfn → arena slot` table in front of it. [`FrameAlloc`]
+//! hands out frame numbers densely from 1 upward (in shuffled windows), so
+//! the table stays small and an access is two array indexes — no hashing on
+//! the functional read/write path.
+//!
+//! [`FrameAlloc`]: crate::FrameAlloc
 
 use crate::addr::{PhysAddr, PAGE_BYTES};
-use std::collections::HashMap;
+
+/// Marker for a frame that has never been written.
+const NO_FRAME: u32 = u32::MAX;
+
+/// Upper bound on the frame-number space (256 GB of simulated physical
+/// memory) — a guard against a stray huge physical address turning the flat
+/// table into an allocation bomb.
+const MAX_FRAMES: u64 = 1 << 26;
 
 /// Sparse guest physical memory. Frames are materialized on first touch.
 ///
 /// All reads/writes take *physical* addresses; translation happens in
 /// [`crate::AddressSpace`] / [`crate::GuestMem`]. Accesses may straddle frame
 /// boundaries.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PhysMem {
-    frames: HashMap<u64, Box<[u8]>>,
+    /// `pfn → index of the frame in `data``, [`NO_FRAME`] when untouched.
+    slots: Vec<u32>,
+    /// Frame storage: [`PAGE_BYTES`] bytes per materialized frame, in
+    /// materialization order.
+    data: Vec<u8>,
 }
 
 impl PhysMem {
@@ -21,13 +40,32 @@ impl PhysMem {
 
     /// Number of frames that have been touched.
     pub fn resident_frames(&self) -> usize {
-        self.frames.len()
+        self.data.len() / PAGE_BYTES as usize
+    }
+
+    /// The frame backing `pfn`, if it has been materialized.
+    #[inline]
+    fn frame(&self, pfn: u64) -> Option<&[u8]> {
+        let slot = *self.slots.get(usize::try_from(pfn).ok()?)?;
+        if slot == NO_FRAME {
+            return None;
+        }
+        let off = slot as usize * PAGE_BYTES as usize;
+        Some(&self.data[off..off + PAGE_BYTES as usize])
     }
 
     fn frame_mut(&mut self, pfn: u64) -> &mut [u8] {
-        self.frames
-            .entry(pfn)
-            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+        assert!(pfn < MAX_FRAMES, "physical frame {pfn:#x} out of range");
+        let pfn = pfn as usize;
+        if pfn >= self.slots.len() {
+            self.slots.resize(pfn + 1, NO_FRAME);
+        }
+        if self.slots[pfn] == NO_FRAME {
+            self.slots[pfn] = (self.data.len() / PAGE_BYTES as usize) as u32;
+            self.data.resize(self.data.len() + PAGE_BYTES as usize, 0);
+        }
+        let off = self.slots[pfn] as usize * PAGE_BYTES as usize;
+        &mut self.data[off..off + PAGE_BYTES as usize]
     }
 
     /// Reads `buf.len()` bytes starting at `pa`. Untouched memory reads as 0.
@@ -38,7 +76,7 @@ impl PhysMem {
             let pfn = addr >> 12;
             let off = (addr & (PAGE_BYTES - 1)) as usize;
             let n = ((PAGE_BYTES as usize) - off).min(buf.len() - done);
-            match self.frames.get(&pfn) {
+            match self.frame(pfn) {
                 Some(frame) => buf[done..done + n].copy_from_slice(&frame[off..off + n]),
                 None => buf[done..done + n].fill(0),
             }
@@ -113,5 +151,30 @@ mod tests {
         let mut m = PhysMem::new();
         m.write_u64(PhysAddr(0x2FFC), 0x0123_4567_89ab_cdef);
         assert_eq!(m.read_u64(PhysAddr(0x2FFC)), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn frames_written_out_of_order_stay_distinct() {
+        let mut m = PhysMem::new();
+        m.write(PhysAddr(9 * PAGE_BYTES), b"nine");
+        m.write(PhysAddr(2 * PAGE_BYTES), b"two");
+        m.write(PhysAddr(5 * PAGE_BYTES), b"five");
+        let mut b = [0u8; 4];
+        m.read(PhysAddr(9 * PAGE_BYTES), &mut b);
+        assert_eq!(&b, b"nine");
+        m.read(PhysAddr(2 * PAGE_BYTES), &mut b[..3]);
+        assert_eq!(&b[..3], b"two");
+        assert_eq!(m.resident_frames(), 3);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = PhysMem::new();
+        a.write(PhysAddr(0x1000), b"orig");
+        let b = a.clone();
+        a.write(PhysAddr(0x1000), b"edit");
+        let mut buf = [0u8; 4];
+        b.read(PhysAddr(0x1000), &mut buf);
+        assert_eq!(&buf, b"orig");
     }
 }

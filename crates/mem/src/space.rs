@@ -3,22 +3,65 @@
 use crate::addr::{PhysAddr, VirtAddr, PAGE_SHIFT};
 use crate::error::MemError;
 use crate::frame::FrameAlloc;
-use std::collections::HashMap;
+
+/// Widest VPN span one address space may cover (128 GB of virtual address
+/// space). Mappings cluster around the guest heap base, so the flat table
+/// stays a few MB; this guard keeps a wildly scattered mapping from turning
+/// it into an allocation bomb.
+const MAX_SPAN_PAGES: u64 = 1 << 25;
 
 /// One process's virtual address space.
 ///
-/// The page table is functional (a map), but the *shape* of the mapping is
-/// what the timing models consume: pages are physically scattered by
-/// [`FrameAlloc`], so the accelerator must translate every pointer it chases.
-#[derive(Debug, Default)]
+/// The page table is a flat `vpn → pfn` array anchored at the lowest mapped
+/// VPN (entry 0 = unmapped; frame 0 is reserved, so 0 is unambiguous). Guest
+/// mappings are a dense cluster above the heap base, so lookup is one bounds
+/// check and one array index — no hashing on the functional access path. The
+/// *shape* of the mapping is what the timing models consume: pages are
+/// physically scattered by [`FrameAlloc`], so the accelerator must translate
+/// every pointer it chases.
+#[derive(Debug, Default, Clone)]
 pub struct AddressSpace {
-    table: HashMap<u64, u64>,
+    /// VPN of `table[0]`; meaningful only when `table` is non-empty.
+    base_vpn: u64,
+    /// PFN per VPN slot, 0 = unmapped.
+    table: Vec<u64>,
+    mapped: usize,
 }
 
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The table slot for `vpn`, growing (or re-anchoring) the flat table to
+    /// cover it.
+    fn slot_mut(&mut self, vpn: u64) -> &mut u64 {
+        if self.table.is_empty() {
+            self.base_vpn = vpn;
+            self.table.push(0);
+        } else if vpn < self.base_vpn {
+            let shift = self.base_vpn - vpn;
+            let span = shift + self.table.len() as u64;
+            assert!(span <= MAX_SPAN_PAGES, "page-table span {span} too wide");
+            self.table
+                .splice(0..0, std::iter::repeat_n(0, shift as usize));
+            self.base_vpn = vpn;
+        } else if vpn >= self.base_vpn + self.table.len() as u64 {
+            let span = vpn - self.base_vpn + 1;
+            assert!(span <= MAX_SPAN_PAGES, "page-table span {span} too wide");
+            self.table.resize(span as usize, 0);
+        }
+        &mut self.table[(vpn - self.base_vpn) as usize]
+    }
+
+    /// The PFN mapped at `vpn`, or 0 when unmapped.
+    #[inline]
+    fn lookup(&self, vpn: u64) -> u64 {
+        vpn.checked_sub(self.base_vpn)
+            .and_then(|i| self.table.get(i as usize))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Maps virtual page `vpn` to a freshly allocated physical frame.
@@ -29,15 +72,19 @@ impl AddressSpace {
     /// Panics if `vpn` is already mapped.
     pub fn map_page(&mut self, vpn: u64, frames: &mut FrameAlloc) -> u64 {
         let pfn = frames.alloc();
-        let prev = self.table.insert(vpn, pfn);
-        assert!(prev.is_none(), "vpn {vpn:#x} double-mapped");
+        debug_assert_ne!(pfn, 0, "frame 0 is reserved");
+        let slot = self.slot_mut(vpn);
+        assert!(*slot == 0, "vpn {vpn:#x} double-mapped");
+        *slot = pfn;
+        self.mapped += 1;
         pfn
     }
 
     /// Ensures `vpn` is mapped, mapping it on demand. Returns the frame.
     pub fn ensure_mapped(&mut self, vpn: u64, frames: &mut FrameAlloc) -> u64 {
-        if let Some(&pfn) = self.table.get(&vpn) {
-            pfn
+        let existing = self.lookup(vpn);
+        if existing != 0 {
+            existing
         } else {
             self.map_page(vpn, frames)
         }
@@ -53,20 +100,20 @@ impl AddressSpace {
         if va.is_null() {
             return Err(MemError::NullDeref);
         }
-        match self.table.get(&va.vpn()) {
-            Some(&pfn) => Ok(PhysAddr((pfn << PAGE_SHIFT) | va.page_offset())),
-            None => Err(MemError::Unmapped(va)),
+        match self.lookup(va.vpn()) {
+            0 => Err(MemError::Unmapped(va)),
+            pfn => Ok(PhysAddr((pfn << PAGE_SHIFT) | va.page_offset())),
         }
     }
 
     /// Whether `vpn` has a translation.
     pub fn is_mapped(&self, vpn: u64) -> bool {
-        self.table.contains_key(&vpn)
+        self.lookup(vpn) != 0
     }
 
     /// Number of mapped pages.
     pub fn mapped_pages(&self) -> usize {
-        self.table.len()
+        self.mapped
     }
 }
 
@@ -112,5 +159,33 @@ mod tests {
         let mut fa = FrameAlloc::new(5);
         s.map_page(1, &mut fa);
         s.map_page(1, &mut fa);
+    }
+
+    #[test]
+    fn table_re_anchors_below_first_mapping() {
+        let mut s = AddressSpace::new();
+        let mut fa = FrameAlloc::new(5);
+        let high = s.map_page(100, &mut fa);
+        let low = s.map_page(40, &mut fa);
+        assert_eq!(s.lookup(100), high);
+        assert_eq!(s.lookup(40), low);
+        assert!(!s.is_mapped(41) && !s.is_mapped(99));
+        assert_eq!(s.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn heap_base_vpns_stay_compact() {
+        // VPNs at the guest heap base (~2^35) must not allocate a table
+        // proportional to the absolute VPN — only to the mapped span.
+        let mut s = AddressSpace::new();
+        let mut fa = FrameAlloc::new(5);
+        let base = 0x0000_7f00_0000_0000u64 >> PAGE_SHIFT;
+        for i in 0..64 {
+            s.map_page(base + i, &mut fa);
+        }
+        assert_eq!(s.mapped_pages(), 64);
+        assert!(s.is_mapped(base + 63));
+        assert!(!s.is_mapped(base + 64));
+        assert!(!s.is_mapped(0));
     }
 }

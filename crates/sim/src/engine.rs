@@ -22,18 +22,23 @@ use qei_cache::MemoryHierarchy;
 use qei_config::{Cycles, MachineConfig, Scheme};
 use qei_core::QeiAccelerator;
 use qei_cpu::{CoreModel, MemBus, Trace};
+use qei_mem::GuestMem;
 use qei_workloads::dpdk::{DpdkFib, TupleSpace};
 use qei_workloads::flann::FlannLsh;
 use qei_workloads::jvm::JvmGc;
 use qei_workloads::rocksdb::RocksDbMem;
 use qei_workloads::snort::SnortAc;
 use qei_workloads::Workload;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Process-wide default worker count for newly-created engines.
 /// 0 = one worker per available core.
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether runs print per-phase wall-time lines to stderr.
+static PROFILING: AtomicBool = AtomicBool::new(false);
 
 /// Sets the default worker count every subsequently-created [`Engine`]
 /// uses for [`Engine::run_all`] (0 = one per available core, 1 = serial).
@@ -41,6 +46,18 @@ static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// The `repro` binary's `--jobs`/`--serial` flags call this.
 pub fn set_default_threads(threads: usize) {
     DEFAULT_THREADS.store(threads, Ordering::SeqCst);
+}
+
+/// Enables per-phase wall-time profiling: every run prints one stderr line
+/// with its workload-build, warm-up, measured-pass, and report-serialization
+/// times. The `repro` binary's `--profile` flag calls this; reports
+/// themselves are unaffected.
+pub fn set_profiling(enabled: bool) {
+    PROFILING.store(enabled, Ordering::SeqCst);
+}
+
+fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
 }
 
 /// How a plan executes the workload's ROI.
@@ -168,59 +185,61 @@ impl WorkloadSpec {
         }
     }
 
-    /// Builds a fresh system and the workload inside it.
+    /// Builds the workload image — the guest memory holding the data
+    /// structure plus the workload's query stream and ground truth. The
+    /// image depends only on the spec's seeds, never on the machine
+    /// configuration, which is what lets sweep plans that differ only in
+    /// [`ConfigOverrides`] share one build.
     ///
     /// # Panics
     ///
     /// Panics if guest allocation fails (dataset larger than guest memory).
-    pub fn build(&self, config: &MachineConfig) -> (System, Box<dyn Workload>) {
-        let mut sys = System::new(config.clone(), self.guest_seed);
+    pub fn build_image(&self) -> (GuestMem, Box<dyn Workload>) {
+        let mut guest = GuestMem::new(self.guest_seed);
         let seed = self.build_seed;
         let w: Box<dyn Workload> = match self.kind {
             WorkloadKind::DpdkFib { flows, queries } => {
-                Box::new(DpdkFib::build(sys.guest_mut(), flows, queries, seed))
+                Box::new(DpdkFib::build(&mut guest, flows, queries, seed))
             }
             WorkloadKind::TupleSpace {
                 tuples,
                 flows_per_table,
                 packets,
             } => Box::new(TupleSpace::build(
-                sys.guest_mut(),
+                &mut guest,
                 tuples,
                 flows_per_table,
                 packets,
                 seed,
             )),
             WorkloadKind::JvmGc { objects, queries } => {
-                Box::new(JvmGc::build(sys.guest_mut(), objects, queries, seed))
+                Box::new(JvmGc::build(&mut guest, objects, queries, seed))
             }
             WorkloadKind::RocksDbMem { items, queries } => {
-                Box::new(RocksDbMem::build(sys.guest_mut(), items, queries, seed))
+                Box::new(RocksDbMem::build(&mut guest, items, queries, seed))
             }
             WorkloadKind::SnortAc {
                 keywords,
                 scans,
                 text_len,
-            } => Box::new(SnortAc::build(
-                sys.guest_mut(),
-                keywords,
-                scans,
-                text_len,
-                seed,
-            )),
+            } => Box::new(SnortAc::build(&mut guest, keywords, scans, text_len, seed)),
             WorkloadKind::FlannLsh {
                 tables,
                 items,
                 searches,
-            } => Box::new(FlannLsh::build(
-                sys.guest_mut(),
-                tables,
-                items,
-                searches,
-                seed,
-            )),
+            } => Box::new(FlannLsh::build(&mut guest, tables, items, searches, seed)),
         };
-        (sys, w)
+        (guest, w)
+    }
+
+    /// Builds a fresh system and the workload inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if guest allocation fails (dataset larger than guest memory).
+    pub fn build(&self, config: &MachineConfig) -> (System, Box<dyn Workload>) {
+        let (guest, w) = self.build_image();
+        (System::from_parts(config.clone(), guest), w)
     }
 }
 
@@ -391,16 +410,28 @@ impl Engine {
     /// Panics if functional results disagree with the workload's ground
     /// truth — that is a simulator bug, not a measurement.
     pub fn run(&self, plan: &RunPlan) -> RunReport {
+        let started = Instant::now();
         let mut config = self.config.clone();
         plan.overrides.apply(&mut config);
         let (mut sys, workload) = plan.workload.build(&config);
-        Self::execute(&mut sys, workload.as_ref(), plan.mode, plan.scheme)
+        let build = started.elapsed();
+        Self::execute(&mut sys, workload.as_ref(), plan.mode, plan.scheme, build)
     }
 
     /// Runs independent plans in parallel (scoped threads, work-stealing by
-    /// index) and returns reports in plan order. Plans share no state, so
-    /// the reports are identical to running each plan serially.
+    /// index) and returns reports in plan order.
+    ///
+    /// Plans that share a [`WorkloadSpec`] — the sweep/ablation pattern,
+    /// where only the mode, scheme, or [`ConfigOverrides`] vary — share one
+    /// immutable workload build: the guest image and query stream are built
+    /// once per unique spec and the image is cloned (a flat memcpy) per
+    /// plan, instead of re-deriving it from seeds every time. A cloned
+    /// image is indistinguishable from a fresh build, so the reports stay
+    /// byte-identical to running each plan serially through [`Engine::run`].
     pub fn run_all(&self, plans: &[RunPlan]) -> Vec<RunReport> {
+        if plans.is_empty() {
+            return Vec::new();
+        }
         let workers = match self.threads {
             0 => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -408,8 +439,32 @@ impl Engine {
             n => n,
         }
         .min(plans.len());
+
+        // Deduplicate specs in first-appearance order, then build one
+        // prototype image per unique spec.
+        let mut unique: Vec<WorkloadSpec> = Vec::new();
+        for plan in plans {
+            if !unique.contains(&plan.workload) {
+                unique.push(plan.workload);
+            }
+        }
+        let protos = Self::build_prototypes(&unique, workers);
+        let run_plan = |plan: &RunPlan| -> RunReport {
+            let started = Instant::now();
+            let (_, guest, workload) = protos
+                .iter()
+                .find(|(spec, _, _)| *spec == plan.workload)
+                .expect("prototype built for every plan");
+            let guest = guest.lock().expect("prototype image").clone();
+            let mut config = self.config.clone();
+            plan.overrides.apply(&mut config);
+            let mut sys = System::from_parts(config, guest);
+            let build = started.elapsed();
+            Self::execute(&mut sys, workload.as_ref(), plan.mode, plan.scheme, build)
+        };
+
         if workers <= 1 {
-            return plans.iter().map(|p| self.run(p)).collect();
+            return plans.iter().map(run_plan).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RunReport>>> = plans.iter().map(|_| Mutex::new(None)).collect();
@@ -420,7 +475,7 @@ impl Engine {
                     if i >= plans.len() {
                         break;
                     }
-                    let report = self.run(&plans[i]);
+                    let report = run_plan(&plans[i]);
                     *slots[i].lock().expect("result slot") = Some(report);
                 });
             }
@@ -431,6 +486,51 @@ impl Engine {
                 slot.into_inner()
                     .expect("result slot")
                     .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Builds the per-spec prototype images, in parallel when several specs
+    /// and workers are available. The `Mutex` only serializes the per-plan
+    /// image clone, not the runs themselves.
+    #[allow(clippy::type_complexity)]
+    fn build_prototypes(
+        unique: &[WorkloadSpec],
+        workers: usize,
+    ) -> Vec<(WorkloadSpec, Mutex<GuestMem>, Box<dyn Workload>)> {
+        let builders = workers.min(unique.len());
+        if builders <= 1 {
+            return unique
+                .iter()
+                .map(|spec| {
+                    let (guest, w) = spec.build_image();
+                    (*spec, Mutex::new(guest), w)
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(GuestMem, Box<dyn Workload>)>>> =
+            unique.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..builders {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= unique.len() {
+                        break;
+                    }
+                    *slots[i].lock().expect("proto slot") = Some(unique[i].build_image());
+                });
+            }
+        });
+        unique
+            .iter()
+            .zip(slots)
+            .map(|(spec, slot)| {
+                let (guest, w) = slot
+                    .into_inner()
+                    .expect("proto slot")
+                    .expect("builder filled every slot");
+                (*spec, Mutex::new(guest), w)
             })
             .collect()
     }
@@ -449,7 +549,7 @@ impl Engine {
         mode: RunMode,
         scheme: Option<Scheme>,
     ) -> RunReport {
-        Self::execute(sys, workload, mode, scheme)
+        Self::execute(sys, workload, mode, scheme, Duration::ZERO)
     }
 
     fn execute(
@@ -457,23 +557,46 @@ impl Engine {
         workload: &dyn Workload,
         mode: RunMode,
         scheme: Option<Scheme>,
+        build: Duration,
     ) -> RunReport {
         match mode {
-            RunMode::Baseline => Self::execute_baseline(sys, workload),
+            RunMode::Baseline => Self::execute_baseline(sys, workload, build),
             RunMode::QeiBlocking | RunMode::LocalCompareAblation => {
                 let scheme = scheme.expect("QEI modes require a scheme");
                 let trace = build_qei_trace_blocking(workload);
-                Self::execute_qei(sys, workload, mode, scheme, trace)
+                Self::execute_qei(sys, workload, mode, scheme, trace, build)
             }
             RunMode::QeiNonblocking { batch } => {
                 let scheme = scheme.expect("QEI modes require a scheme");
                 let trace = build_qei_trace_nonblocking(workload, batch);
-                Self::execute_qei(sys, workload, mode, scheme, trace)
+                Self::execute_qei(sys, workload, mode, scheme, trace, build)
             }
         }
     }
 
-    fn execute_baseline(sys: &mut System, workload: &dyn Workload) -> RunReport {
+    /// Prints one per-run phase-timing line when profiling is enabled.
+    fn emit_profile(
+        report: &RunReport,
+        build: Duration,
+        warmup: Duration,
+        measured: Duration,
+        serialize: Duration,
+    ) {
+        if !profiling() {
+            return;
+        }
+        let label = match report.scheme {
+            Some(scheme) => format!("{}/{scheme}", report.mode),
+            None => report.mode.to_string(),
+        };
+        eprintln!(
+            "[profile] {:8} {:32} build {:>10.3?}  warm-up {:>10.3?}  measured {:>10.3?}  report {:>10.3?}",
+            report.workload, label, build, warmup, measured, serialize
+        );
+    }
+
+    fn execute_baseline(sys: &mut System, workload: &dyn Workload, build: Duration) -> RunReport {
+        let phase = Instant::now();
         let mut trace = Trace::new();
         let results = workload.baseline_trace(sys.guest(), &mut trace);
         assert_eq!(
@@ -487,10 +610,16 @@ impl Engine {
         let mut core = CoreModel::new(sys.config(), sys.core_id());
         // Warm-up pass: caches, TLBs, branch predictor reach steady state.
         let _ = core.run(&trace, &mut bus);
+        let warmup = phase.elapsed();
+        let phase = Instant::now();
         bus.mem.reset_epoch();
         let run = core.run(&trace, &mut bus);
+        let measured = phase.elapsed();
 
-        RunReport::from_software(workload, run, bus.mem.stats())
+        let phase = Instant::now();
+        let report = RunReport::from_software(workload, run, bus.mem.stats());
+        Self::emit_profile(&report, build, warmup, measured, phase.elapsed());
+        report
     }
 
     fn execute_qei(
@@ -499,8 +628,10 @@ impl Engine {
         mode: RunMode,
         scheme: Scheme,
         trace: Trace,
+        build: Duration,
     ) -> RunReport {
         // Result buffer for non-blocking queries: one u64 per job.
+        let phase = Instant::now();
         let n_jobs = workload.jobs().len();
         let result_buf = sys
             .guest_mut()
@@ -522,8 +653,11 @@ impl Engine {
         // Warm-up pass then measured pass over the *same* bus, so caches,
         // accelerator TLBs, and the predictor are in steady state.
         let _ = core.run(&trace, &mut bus);
+        let warmup = phase.elapsed();
+        let phase = Instant::now();
         bus.begin_epoch();
         let run = core.run(&trace, &mut bus);
+        let measured = phase.elapsed();
 
         let nonblocking = matches!(mode, RunMode::QeiNonblocking { .. });
         let correct = bus.verify(workload.expected(), nonblocking);
@@ -533,8 +667,9 @@ impl Engine {
             workload.name(),
             scheme
         );
+        let phase = Instant::now();
         let occupancy = bus.accel().qst_occupancy(Cycles(run.cycles.max(1)));
-        RunReport::from_qei(
+        let report = RunReport::from_qei(
             workload,
             mode,
             scheme,
@@ -545,7 +680,9 @@ impl Engine {
                 qst_occupancy: occupancy,
                 noc: *bus.mem_hierarchy().noc().stats(),
             },
-        )
+        );
+        Self::emit_profile(&report, build, warmup, measured, phase.elapsed());
+        report
     }
 }
 
@@ -626,6 +763,28 @@ mod tests {
     #[test]
     fn empty_plan_list_is_fine() {
         assert!(Engine::paper().run_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn shared_build_sweep_matches_independent_runs() {
+        // run_all builds each distinct WorkloadSpec once and clones the
+        // prototype image per plan; the sweep must stay byte-identical to
+        // fresh per-plan builds even when overrides diverge the configs.
+        let engine = Engine::paper();
+        let spec = jvm_spec();
+        let plans = [
+            RunPlan::baseline(spec),
+            RunPlan::qei(spec, Scheme::CoreIntegrated),
+            RunPlan::qei(spec, Scheme::CoreIntegrated).with_qst_entries(8),
+            RunPlan::qei(spec, Scheme::ChaTlb).with_device_latency(900),
+        ];
+        let shared: Vec<String> = engine
+            .run_all(&plans)
+            .iter()
+            .map(RunReport::to_json)
+            .collect();
+        let independent: Vec<String> = plans.iter().map(|p| engine.run(p).to_json()).collect();
+        assert_eq!(shared, independent);
     }
 
     #[test]

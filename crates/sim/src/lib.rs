@@ -37,7 +37,7 @@ use qei_workloads::Workload;
 pub const NB_BATCH: usize = 32;
 
 /// The simulated system owning a guest and its workload data.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct System {
     config: MachineConfig,
     guest: GuestMem,
@@ -48,10 +48,18 @@ pub struct System {
 impl System {
     /// Creates a system with a deterministic guest layout.
     pub fn new(config: MachineConfig, seed: u64) -> Self {
+        Self::from_parts(config, GuestMem::new(seed))
+    }
+
+    /// Assembles a system around an already-built guest image. The engine's
+    /// shared workload builds construct one prototype image per
+    /// [`WorkloadSpec`] and clone it per plan; a fresh build and a cloned
+    /// image are indistinguishable, so reports stay byte-identical.
+    pub fn from_parts(config: MachineConfig, guest: GuestMem) -> Self {
         assert!(config.validate().is_empty(), "invalid machine config");
         System {
             config,
-            guest: GuestMem::new(seed),
+            guest,
             core_id: 0,
         }
     }

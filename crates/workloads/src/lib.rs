@@ -44,7 +44,11 @@ pub struct QueryJob {
 }
 
 /// A benchmark: a built data set plus a query stream and its baseline.
-pub trait Workload {
+///
+/// Workloads are plain built data (query stream, ground truth, sizing), so
+/// they are `Send + Sync` by construction; the bound lets one built instance
+/// be shared immutably across parallel sweep plans.
+pub trait Workload: Send + Sync {
     /// Workload name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
