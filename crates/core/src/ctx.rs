@@ -1,6 +1,7 @@
 //! Per-query execution context — the software view of one QST entry.
 
 use crate::header::Header;
+use qei_mem::bytes::{le_u16, le_u64};
 use qei_mem::VirtAddr;
 
 /// The architectural state of one in-flight query: the parsed header, the
@@ -55,7 +56,7 @@ impl QueryCtx {
     /// Panics if `off + 8` exceeds the staged data (a CFA bug, not a guest
     /// fault — the CFA sized the preceding `Read`).
     pub fn line_u64(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.line[off..off + 8].try_into().expect("8 bytes staged"))
+        le_u64(&self.line, off)
     }
 
     /// Reads a little-endian `u16` out of the staged line data.
@@ -64,7 +65,7 @@ impl QueryCtx {
     ///
     /// Panics if `off + 2` exceeds the staged data.
     pub fn line_u16(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.line[off..off + 2].try_into().expect("2 bytes staged"))
+        le_u16(&self.line, off)
     }
 
     /// Reads one staged byte.

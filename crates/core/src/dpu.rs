@@ -21,7 +21,7 @@ pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = seed ^ 0x51_7c_c1_b7_27_22_0a_95u64.wrapping_mul(bytes.len() as u64 + 1);
     let mut chunks = bytes.chunks_exact(8);
     for c in &mut chunks {
-        let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        let v = qei_mem::bytes::le_u64(c, 0);
         h ^= v;
         h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         h = h.rotate_left(31);
@@ -59,8 +59,14 @@ pub fn execute(mem: &GuestMem, ctx: &mut QueryCtx, op: MicroOp) -> Result<OpOutc
         }
         MicroOp::Compare { addr, len, key_off } => {
             let stored = mem.read_vec(addr, len as usize).map_err(FaultCode::from)?;
-            let end = ((key_off + len) as usize).min(ctx.key.len());
-            let query = &ctx.key[key_off as usize..end];
+            // Clamp the key window like the comparator's mux would: an
+            // out-of-range offset compares against an empty slice rather
+            // than tripping machine checks.
+            let start = (key_off as usize).min(ctx.key.len());
+            let end = (key_off as usize)
+                .saturating_add(len as usize)
+                .min(ctx.key.len());
+            let query = &ctx.key[start..end];
             Ok(OpOutcome::Cmp(compare_bytes(&stored, query)))
         }
         MicroOp::Hash { seed } => Ok(OpOutcome::Hashed(hash_bytes(seed, &ctx.key))),

@@ -64,7 +64,7 @@ impl CfaProgram for BstCfa {
                 ctx.counter = ctx.line_u64(NODE_RIGHT_OFF as usize);
                 ctx.state = BST_COMP;
                 MicroOp::Compare {
-                    addr: VirtAddr(ctx.cursor + NODE_KEY_OFF),
+                    addr: VirtAddr(ctx.cursor.wrapping_add(NODE_KEY_OFF)),
                     len: 8,
                     key_off: 0,
                 }

@@ -27,8 +27,10 @@
 
 use super::{CfaProgram, STATE_DONE, STATE_START};
 use crate::ctx::QueryCtx;
+use crate::fault::FaultCode;
 use crate::uop::{MicroOp, OpOutcome};
 use crate::RESULT_NOT_FOUND;
+use qei_mem::bytes::be_u64;
 use qei_mem::VirtAddr;
 
 /// Type byte for the loadable B+-tree firmware.
@@ -66,11 +68,10 @@ impl BPlusTreeCfa {
 
     /// Index of the first stored key > query (searching the staged node).
     fn upper_bound(ctx: &QueryCtx, count: usize) -> usize {
-        let query = u64::from_be_bytes(ctx.key[..8].try_into().expect("8-byte key"));
+        let query = be_u64(&ctx.key, 0);
         let mut idx = 0;
         while idx < count {
-            let off = (NODE_KEYS_OFF as usize) + idx * 8;
-            let stored = u64::from_be_bytes(ctx.line[off..off + 8].try_into().expect("staged key"));
+            let stored = be_u64(&ctx.line, (NODE_KEYS_OFF as usize) + idx * 8);
             if stored > query {
                 break;
             }
@@ -84,6 +85,14 @@ impl CfaProgram for BPlusTreeCfa {
     fn step(&self, ctx: &mut QueryCtx, last: OpOutcome) -> MicroOp {
         match (ctx.state, last) {
             (STATE_START, OpOutcome::Start) => {
+                // Loadable firmware: `Header::validate` cannot constrain
+                // custom types, so the CFA itself rejects keys shorter than
+                // the 8-byte inline comparisons below require.
+                if ctx.key.len() < 8 {
+                    return MicroOp::Fault {
+                        code: FaultCode::MalformedHeader,
+                    };
+                }
                 if ctx.header.ds_ptr.is_null() {
                     ctx.state = STATE_DONE;
                     return MicroOp::Done {
@@ -100,15 +109,14 @@ impl CfaProgram for BPlusTreeCfa {
             }
             (BT_SEARCH, OpOutcome::AluDone) => {
                 let is_leaf = ctx.line_u16(NODE_IS_LEAF_OFF as usize) != 0;
-                let count = ctx.line_u16(NODE_COUNT_OFF as usize) as usize;
-                let query = u64::from_be_bytes(ctx.key[..8].try_into().expect("8-byte key"));
+                // A corrupt node can carry any `u16` count; clamp to the
+                // fanout so the scan stays inside the staged 128-byte line.
+                let count = (ctx.line_u16(NODE_COUNT_OFF as usize) as usize).min(FANOUT - 1);
+                let query = be_u64(&ctx.key, 0);
                 if is_leaf {
                     // Exact-match scan of the staged leaf.
                     for i in 0..count {
-                        let off = (NODE_KEYS_OFF as usize) + i * 8;
-                        let stored = u64::from_be_bytes(
-                            ctx.line[off..off + 8].try_into().expect("staged key"),
-                        );
+                        let stored = be_u64(&ctx.line, (NODE_KEYS_OFF as usize) + i * 8);
                         if stored == query {
                             let v = ctx.line_u64((NODE_PTRS_OFF as usize) + i * 8);
                             ctx.state = STATE_DONE;

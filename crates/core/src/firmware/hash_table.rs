@@ -58,7 +58,9 @@ impl CfaProgram for ChainedHashCfa {
             }
             (CH_HASH, OpOutcome::Hashed(h)) => {
                 let idx = h % ctx.header.capacity;
-                let slot = ctx.header.ds_ptr.0 + idx * 8;
+                // Wrapping address adder: a corrupt capacity yields a bogus
+                // address that page-faults, exactly as the hardware behaves.
+                let slot = ctx.header.ds_ptr.0.wrapping_add(idx.wrapping_mul(8));
                 ctx.state = CH_BUCKET;
                 MicroOp::Read {
                     addr: VirtAddr(slot),
@@ -150,7 +152,11 @@ impl CuckooHashCfa {
             ctx.cursor2 % ctx.header.capacity
         };
         let bucket_bytes = ctx.header.aux0 * CUCKOO_ENTRY_BYTES;
-        ctx.header.ds_ptr.0 + idx * bucket_bytes
+        // Wrapping address adder (corrupt headers must fault, not panic).
+        ctx.header
+            .ds_ptr
+            .0
+            .wrapping_add(idx.wrapping_mul(bucket_bytes))
     }
 
     /// Signature stored in bucket entries: high bits of the primary hash,
@@ -174,7 +180,7 @@ impl CuckooHashCfa {
                 ctx.cursor = kv_ptr;
                 ctx.state = CK_COMP;
                 return MicroOp::Compare {
-                    addr: VirtAddr(kv_ptr + KV_KEY_OFF),
+                    addr: VirtAddr(kv_ptr.wrapping_add(KV_KEY_OFF)),
                     len: ctx.header.key_len as u32,
                     key_off: 0,
                 };
@@ -238,7 +244,7 @@ impl CfaProgram for CuckooHashCfa {
             (CK_COMP, OpOutcome::Cmp(Ordering::Equal)) => {
                 ctx.state = CK_FETCH_KV;
                 MicroOp::Read {
-                    addr: VirtAddr(ctx.cursor + KV_VALUE_OFF),
+                    addr: VirtAddr(ctx.cursor.wrapping_add(KV_VALUE_OFF)),
                     len: 8,
                 }
             }

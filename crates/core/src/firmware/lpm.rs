@@ -10,7 +10,7 @@
 //! longest matching prefix.
 
 use super::trie::{
-    CHILD_ENTRY_BYTES, COMBINED_CHILDREN, NODE_CHILDREN_OFF, NODE_CHILD_COUNT_OFF,
+    CHILD_ENTRY_BYTES, COMBINED_CHILDREN, MAX_CHILDREN, NODE_CHILDREN_OFF, NODE_CHILD_COUNT_OFF,
     NODE_COMBINED_BYTES, NODE_OUT_OFF,
 };
 use super::{CfaProgram, STATE_DONE, STATE_START};
@@ -89,7 +89,7 @@ impl CfaProgram for LpmCfa {
                 if ctx.counter as usize >= ctx.key.len() {
                     return Self::finish(ctx);
                 }
-                let count = ctx.line_u16(NODE_CHILD_COUNT_OFF as usize) as u64;
+                let count = (ctx.line_u16(NODE_CHILD_COUNT_OFF as usize) as u64).min(MAX_CHILDREN);
                 if count == 0 {
                     return Self::finish(ctx);
                 }
@@ -103,7 +103,7 @@ impl CfaProgram for LpmCfa {
                 }
                 ctx.state = LPM_CHILDREN;
                 MicroOp::Read {
-                    addr: VirtAddr(ctx.cursor + NODE_CHILDREN_OFF),
+                    addr: VirtAddr(ctx.cursor.wrapping_add(NODE_CHILDREN_OFF)),
                     len: (count * CHILD_ENTRY_BYTES) as u32,
                 }
             }

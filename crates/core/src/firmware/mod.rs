@@ -30,7 +30,7 @@ pub use trie::TrieCfa;
 use crate::ctx::QueryCtx;
 use crate::header::DsType;
 use crate::uop::{MicroOp, OpOutcome};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -62,9 +62,12 @@ pub trait CfaProgram: fmt::Debug + Send + Sync {
 }
 
 /// The installed firmware: (type, subtype) → program.
+///
+/// Backed by a `BTreeMap` so iteration (e.g. the verifier walking every
+/// installed program) is deterministic without sorting at each call site.
 #[derive(Debug, Clone)]
 pub struct FirmwareStore {
-    programs: HashMap<(u8, u8), Arc<dyn CfaProgram>>,
+    programs: BTreeMap<(u8, u8), Arc<dyn CfaProgram>>,
 }
 
 impl FirmwareStore {
@@ -72,7 +75,7 @@ impl FirmwareStore {
     /// tables are two subtypes of [`DsType::HashTable`]).
     pub fn with_builtins() -> Self {
         let mut s = FirmwareStore {
-            programs: HashMap::new(),
+            programs: BTreeMap::new(),
         };
         s.register(DsType::LinkedList.to_byte(), 0, Arc::new(LinkedListCfa));
         s.register(DsType::HashTable.to_byte(), 0, Arc::new(ChainedHashCfa));
@@ -106,6 +109,11 @@ impl FirmwareStore {
     /// Whether no programs are installed.
     pub fn is_empty(&self) -> bool {
         self.programs.is_empty()
+    }
+
+    /// Iterates installed programs in `(dtype, subtype)` order.
+    pub fn iter(&self) -> impl Iterator<Item = ((u8, u8), &Arc<dyn CfaProgram>)> {
+        self.programs.iter().map(|(&k, v)| (k, v))
     }
 }
 

@@ -116,7 +116,7 @@ impl SkipListCfa {
         // Beyond the retained window: refetch the single pointer.
         ctx.state = SL_NEXT8;
         MicroOp::Read {
-            addr: VirtAddr(ctx.cursor + NODE_NEXT_BASE_OFF + 8 * level),
+            addr: VirtAddr(ctx.cursor.wrapping_add(NODE_NEXT_BASE_OFF + 8 * level)),
             len: 8,
         }
     }

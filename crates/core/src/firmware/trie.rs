@@ -43,6 +43,12 @@ pub const NODE_COMBINED_BYTES: u64 = 64;
 /// Children covered by the combined fetch.
 pub const COMBINED_CHILDREN: u64 = (NODE_COMBINED_BYTES - NODE_CHILDREN_OFF) / CHILD_ENTRY_BYTES;
 
+/// Most children a node can have: one per distinct byte. A corrupt node can
+/// hold any `u16` in its count field; clamping keeps the child-array fetch
+/// within the DPU issue budget (256 × 16 B = 4 KB) instead of issuing an
+/// unbounded read. Well-formed structures are never affected.
+pub const MAX_CHILDREN: u64 = 256;
+
 const TR_NODE: u8 = 1; // node header fetched (arrived by consuming a byte)
 const TR_CHILDREN: u8 = 2; // child array fetched
 const TR_SEARCH: u8 = 3; // index-table search (ALU)
@@ -155,7 +161,7 @@ impl CfaProgram for TrieCfa {
                     ctx.acc += ctx.line_u64(NODE_OUT_OFF as usize);
                 }
                 ctx.cursor2 = ctx.line_u64(NODE_FAIL_OFF as usize);
-                let count = ctx.line_u16(NODE_CHILD_COUNT_OFF as usize) as u64;
+                let count = (ctx.line_u16(NODE_CHILD_COUNT_OFF as usize) as u64).min(MAX_CHILDREN);
                 if count == 0 {
                     // Leaf: no children to search.
                     return Self::advance(ctx, None);
@@ -173,7 +179,7 @@ impl CfaProgram for TrieCfa {
                 }
                 ctx.state = TR_CHILDREN;
                 MicroOp::Read {
-                    addr: VirtAddr(ctx.cursor + NODE_CHILDREN_OFF),
+                    addr: VirtAddr(ctx.cursor.wrapping_add(NODE_CHILDREN_OFF)),
                     len: (count * CHILD_ENTRY_BYTES) as u32,
                 }
             }
@@ -206,6 +212,6 @@ impl CfaProgram for TrieCfa {
     }
 
     fn state_count(&self) -> u8 {
-        7
+        6 // START, NODE, CHILDREN, SEARCH, NODE_FAIL, DONE
     }
 }

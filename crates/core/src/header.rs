@@ -22,6 +22,7 @@
 //! | 48 | 16 | reserved |
 
 use crate::fault::FaultCode;
+use qei_mem::bytes::{le_u16, le_u32, le_u64};
 use qei_mem::{GuestMem, MemError, VirtAddr};
 
 /// Header size: exactly one cache line.
@@ -133,15 +134,15 @@ impl Header {
     pub fn from_bytes(b: &[u8; HEADER_BYTES as usize]) -> Result<Header, FaultCode> {
         let dtype = DsType::from_byte(b[8]).ok_or(FaultCode::UnknownType)?;
         let h = Header {
-            ds_ptr: VirtAddr(u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"))),
+            ds_ptr: VirtAddr(le_u64(b, 0)),
             dtype,
             subtype: b[9],
-            key_len: u16::from_le_bytes(b[10..12].try_into().expect("2 bytes")),
-            flags: u32::from_le_bytes(b[12..16].try_into().expect("4 bytes")),
-            capacity: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
-            aux0: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
-            aux1: u64::from_le_bytes(b[32..40].try_into().expect("8 bytes")),
-            aux2: u64::from_le_bytes(b[40..48].try_into().expect("8 bytes")),
+            key_len: le_u16(b, 10),
+            flags: le_u32(b, 12),
+            capacity: le_u64(b, 16),
+            aux0: le_u64(b, 24),
+            aux1: le_u64(b, 32),
+            aux2: le_u64(b, 40),
         };
         h.validate()?;
         Ok(h)

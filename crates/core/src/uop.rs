@@ -8,6 +8,20 @@ use crate::fault::FaultCode;
 use qei_mem::VirtAddr;
 use std::cmp::Ordering;
 
+/// DPU issue budget: most bytes a single `Read` micro-op may fetch (the
+/// hardware's intermediate-data staging limit, matching the 4 KB key-length
+/// cap enforced by header validation).
+pub const MAX_READ_BYTES: u32 = 4096;
+
+/// DPU issue budget: most bytes a single `Compare` micro-op may examine
+/// (bounded by the maximum key length).
+pub const MAX_COMPARE_BYTES: u32 = 4096;
+
+/// DPU issue budget: most 1-cycle ALU operations one `Alu` micro-op may
+/// batch. CFAs batch index math and in-node searches; anything larger than
+/// this is an unrolled loop that belongs in separate transitions.
+pub const MAX_ALU_BATCH: u32 = 64;
+
 /// A micro-operation issued by a CFA state transition (paper §IV-B: memory
 /// access, arithmetic/logic, comparison — plus the terminal transitions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +72,28 @@ impl MicroOp {
     /// Whether this op terminates the query.
     pub fn is_terminal(&self) -> bool {
         matches!(self, MicroOp::Done { .. } | MicroOp::Fault { .. })
+    }
+
+    /// Checks the op against the DPU issue budget: `Read`/`Compare` lengths
+    /// must be `1..=MAX_*_BYTES` and an `Alu` batch `1..=MAX_ALU_BATCH`.
+    /// Returns a diagnostic for the first violated bound; `None` when the op
+    /// fits the budget. Terminal ops always fit (they never reach the DPU).
+    pub fn issue_budget_violation(&self) -> Option<String> {
+        match *self {
+            MicroOp::Read { len: 0, .. } => Some("Read of zero bytes".into()),
+            MicroOp::Read { len, .. } if len > MAX_READ_BYTES => Some(format!(
+                "Read of {len} bytes exceeds the {MAX_READ_BYTES}-byte issue budget"
+            )),
+            MicroOp::Compare { len: 0, .. } => Some("Compare of zero bytes".into()),
+            MicroOp::Compare { len, .. } if len > MAX_COMPARE_BYTES => Some(format!(
+                "Compare of {len} bytes exceeds the {MAX_COMPARE_BYTES}-byte issue budget"
+            )),
+            MicroOp::Alu { n: 0 } => Some("empty Alu batch".into()),
+            MicroOp::Alu { n } if n > MAX_ALU_BATCH => Some(format!(
+                "Alu batch of {n} exceeds the {MAX_ALU_BATCH}-op issue budget"
+            )),
+            _ => None,
+        }
     }
 
     /// Number of 64-byte lines a `Read` touches (0 for other ops).
@@ -139,5 +175,48 @@ mod tests {
             16
         );
         assert_eq!(MicroOp::Alu { n: 3 }.lines_touched(), 0);
+    }
+
+    #[test]
+    fn issue_budget_bounds() {
+        let ok = [
+            MicroOp::Read {
+                addr: VirtAddr(0x40),
+                len: MAX_READ_BYTES,
+            },
+            MicroOp::Compare {
+                addr: VirtAddr(0x40),
+                len: 1,
+                key_off: 0,
+            },
+            MicroOp::Alu { n: MAX_ALU_BATCH },
+            MicroOp::Hash { seed: 0 },
+            MicroOp::Done { result: 0 },
+        ];
+        for op in ok {
+            assert_eq!(op.issue_budget_violation(), None, "{op:?}");
+        }
+        let bad = [
+            MicroOp::Read {
+                addr: VirtAddr(0x40),
+                len: 0,
+            },
+            MicroOp::Read {
+                addr: VirtAddr(0x40),
+                len: MAX_READ_BYTES + 1,
+            },
+            MicroOp::Compare {
+                addr: VirtAddr(0x40),
+                len: MAX_COMPARE_BYTES + 1,
+                key_off: 0,
+            },
+            MicroOp::Alu { n: 0 },
+            MicroOp::Alu {
+                n: MAX_ALU_BATCH + 1,
+            },
+        ];
+        for op in bad {
+            assert!(op.issue_budget_violation().is_some(), "{op:?}");
+        }
     }
 }

@@ -112,7 +112,9 @@ pub fn tlb_size_sweep() -> Vec<(u32, f64, f64)> {
         .iter()
         .zip(&reports[1..])
         .map(|(&entries, r)| {
-            let accel = r.accel.expect("accel stats");
+            let Some(accel) = r.accel else {
+                panic!("QEI run at {entries} QST entries is missing accelerator stats")
+            };
             let miss_rate = if accel.tlb_lookups == 0 {
                 0.0
             } else {

@@ -9,7 +9,13 @@
 //! repro --serial all   # run every plan on one thread
 //! repro --jobs 4 all   # cap the plan-execution workers at 4
 //! repro --profile fig7 # print per-phase wall time per plan to stderr
+//! repro --verify       # model-check every installed firmware CFA
 //! ```
+//!
+//! `--verify` runs the `qei-verify` static checker over the seven built-in
+//! data-structure CFAs plus the loadable B+-tree, prints the JSON report to
+//! stdout (also written to the path in `QEI_VERIFY_OUT`, if set), and exits
+//! nonzero if any program fails a check. It takes no experiment argument.
 
 use qei_experiments::{
     ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, suite, tab1, tab2, tab3,
@@ -19,14 +25,47 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile] [--serial | --jobs N] <experiment|all>\n  experiments: {}",
+        "usage: repro [--quick] [--profile] [--serial | --jobs N] <experiment|all>\n       repro --verify\n  experiments: {}",
         qei_experiments::ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
 }
 
+/// Runs the firmware verifier and reports through the process exit code.
+fn verify() -> ! {
+    let report = qei_verify::verify_all();
+    let json = report.to_json();
+    print!("{json}");
+    if let Ok(path) = std::env::var("QEI_VERIFY_OUT") {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("[repro] cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] verifier report written to {path}");
+    }
+    if report.ok() {
+        eprintln!(
+            "[repro] all {} firmware programs verified",
+            report.programs.len()
+        );
+        std::process::exit(0);
+    }
+    for p in report.programs.iter().filter(|p| !p.ok()) {
+        for d in &p.diagnostics {
+            eprintln!("[repro] {}: [{}] {}", p.cfa, d.check.id(), d.detail);
+        }
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--verify") {
+        if args.len() != 1 {
+            usage();
+        }
+        verify();
+    }
     let mut scale = Scale::Paper;
     args.retain(|a| {
         if a == "--quick" {
@@ -68,7 +107,14 @@ fn main() {
     } else {
         None
     };
-    let data = data.as_ref();
+    // `needs_suite` covers every experiment below that takes the matrix, so
+    // inside those branches the data is always present.
+    let suite_data = || -> &SuiteData {
+        let Some(d) = data.as_ref() else {
+            unreachable!("suite data is collected for every experiment that reads it");
+        };
+        d
+    };
 
     let mut ran = false;
     let mut emit = |body: String| {
@@ -77,7 +123,7 @@ fn main() {
     };
 
     if what == "all" || what == "fig1" {
-        emit(fig1::render(data.expect("suite")));
+        emit(fig1::render(suite_data()));
     }
     if what == "all" || what == "tab1" {
         emit(tab1::render());
@@ -86,14 +132,14 @@ fn main() {
         emit(tab2::render());
     }
     if what == "all" || what == "fig7" {
-        emit(fig7::render(data.expect("suite")));
+        emit(fig7::render(suite_data()));
     }
     if what == "all" || what == "fig8" {
         eprintln!("[repro] fig8 latency sweep ...");
         emit(fig8::render(scale));
     }
     if what == "all" || what == "fig9" {
-        emit(fig9::render(data.expect("suite")));
+        emit(fig9::render(suite_data()));
     }
     if what == "all" || what == "fig10" {
         eprintln!("[repro] fig10 tuple-space sweep ...");
@@ -104,16 +150,16 @@ fn main() {
         emit(fig10::render(s));
     }
     if what == "all" || what == "fig11" {
-        emit(fig11::render(data.expect("suite")));
+        emit(fig11::render(suite_data()));
     }
     if what == "all" || what == "fig12" {
-        emit(fig12::render(data.expect("suite")));
+        emit(fig12::render(suite_data()));
     }
     if what == "all" || what == "tab3" {
         emit(tab3::render());
     }
     if what == "all" || what == "occupancy" {
-        let data = data.expect("suite");
+        let data = suite_data();
         let mut body =
             String::from("QST occupancy under Core-integrated (paper: 50%~90% at 10 entries)\n");
         for b in &data.benches {

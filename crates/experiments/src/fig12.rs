@@ -37,7 +37,9 @@ pub fn rows(data: &SuiteData) -> Vec<Fig12Row> {
                 .iter()
                 .map(|&s| {
                     let r = b.report(s);
-                    let accel = r.accel.as_ref().expect("QEI run has accel stats");
+                    let Some(accel) = r.accel.as_ref() else {
+                        panic!("QEI run for {s} is missing accelerator stats")
+                    };
                     let qei_pj =
                         qei_energy_per_query(&model, &r.run, &r.mem, accel, r.noc_bytes, r.queries);
                     (s, qei_pj / base_pj)

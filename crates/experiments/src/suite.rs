@@ -153,23 +153,20 @@ pub fn collect(scale: Scale) -> SuiteData {
 impl BenchResult {
     /// Speedup of `scheme` over the software baseline.
     pub fn speedup(&self, scheme: Scheme) -> f64 {
-        let qei = self
-            .per_scheme
-            .iter()
-            .find(|(s, _)| *s == scheme)
-            .map(|(_, r)| r)
-            .expect("scheme measured");
-        self.baseline.cycles as f64 / qei.cycles as f64
+        self.baseline.cycles as f64 / self.report(scheme).cycles as f64
     }
 
     /// The QEI report for `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheme` was not measured — the suite runs every scheme,
+    /// so that is a caller bug.
     pub fn report(&self, scheme: Scheme) -> &RunReport {
-        &self
-            .per_scheme
-            .iter()
-            .find(|(s, _)| *s == scheme)
-            .expect("scheme measured")
-            .1
+        let Some((_, report)) = self.per_scheme.iter().find(|(s, _)| *s == scheme) else {
+            panic!("scheme {scheme} was not measured for {}", self.name)
+        };
+        report
     }
 }
 

@@ -1,0 +1,64 @@
+//! Fixed-width integer views over byte slices.
+//!
+//! The simulator decodes guest structures from staged byte buffers
+//! everywhere; these helpers centralize the slice-to-array conversion so
+//! call sites stay free of `try_into().unwrap()` noise (and of the
+//! `clippy::unwrap_used` findings the workspace lint table surfaces).
+//!
+//! # Panics
+//!
+//! All functions panic when `off + width` exceeds the slice — the same
+//! bounds panic the open-coded conversions produced. Callers size the
+//! buffers they decode, so an overrun is a caller bug, not a guest fault.
+
+/// Reads a little-endian `u64` at `off`.
+pub fn le_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Reads a big-endian `u64` at `off` (inline tree keys, memcmp-ordered).
+pub fn be_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_be_bytes(b)
+}
+
+/// Reads a little-endian `u32` at `off`.
+pub fn le_u32(bytes: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[off..off + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Reads a little-endian `u16` at `off`.
+pub fn le_u16(bytes: &[u8], off: usize) -> u16 {
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&bytes[off..off + 2]);
+    u16::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_match_manual_decoding() {
+        let mut buf = vec![0u8; 16];
+        buf[0..8].copy_from_slice(&0x1122_3344_5566_7788u64.to_le_bytes());
+        buf[8..16].copy_from_slice(&0xAABB_CCDD_EEFF_0011u64.to_be_bytes());
+        assert_eq!(le_u64(&buf, 0), 0x1122_3344_5566_7788);
+        assert_eq!(be_u64(&buf, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(le_u32(&buf, 0), 0x5566_7788);
+        assert_eq!(le_u16(&buf, 0), 0x7788);
+        assert_eq!(le_u16(&buf, 1), 0x6677);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overrun_panics() {
+        let buf = [0u8; 4];
+        let _ = le_u64(&buf, 0);
+    }
+}

@@ -37,14 +37,16 @@ impl FrameAlloc {
 
     /// Allocates one physical frame, returning its frame number (PFN).
     pub fn alloc(&mut self) -> u64 {
-        if self.pool.is_empty() {
+        self.allocated += 1;
+        loop {
+            if let Some(pfn) = self.pool.pop() {
+                return pfn;
+            }
             let base = self.next_window_base;
             self.next_window_base += WINDOW_FRAMES as u64;
             self.pool.extend(base..base + WINDOW_FRAMES as u64);
             self.rng.shuffle(&mut self.pool);
         }
-        self.allocated += 1;
-        self.pool.pop().expect("pool refilled above")
     }
 
     /// Returns a frame to the allocator.

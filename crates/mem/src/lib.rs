@@ -20,6 +20,7 @@
 //! ```
 
 pub mod addr;
+pub mod bytes;
 pub mod error;
 pub mod frame;
 pub mod guest;

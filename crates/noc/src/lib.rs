@@ -17,20 +17,11 @@
 //! ```
 
 use qei_config::{Cycles, MachineConfig};
-use std::collections::HashMap;
 
 /// Identifier of a mesh tile. Tiles `0..cores` are core tiles; the optional
 /// device tile (for Device-based schemes) is tile `cores`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tile(pub u32);
-
-/// A directed link between two adjacent tiles, identified by the router
-/// coordinates of its endpoints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Link {
-    from: (u32, u32),
-    to: (u32, u32),
-}
 
 /// Aggregate NoC statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,6 +45,12 @@ impl NocStats {
 }
 
 /// The mesh NoC timing model.
+///
+/// Per-link traffic lives in a flat arena indexed by a dense link id (four
+/// direction classes over the `width × height` grid), not a hash map: the
+/// hot `transfer` path avoids hashing, and every traffic walk iterates in
+/// link-id order — deterministic regardless of hasher state, which keeps
+/// float reductions like [`Mesh::mean_link_utilization`] byte-stable.
 #[derive(Debug)]
 pub struct Mesh {
     width: u32,
@@ -61,20 +58,26 @@ pub struct Mesh {
     cores: u32,
     hop_latency: u64,
     link_bytes_per_cycle: f64,
-    link_bytes: HashMap<Link, u64>,
+    link_bytes: Vec<u64>,
     stats: NocStats,
 }
 
 impl Mesh {
     /// Builds the mesh from the machine configuration.
     pub fn new(config: &MachineConfig) -> Self {
+        let width = config.mesh_width;
+        // One extra row hosts the device tile.
+        let height = config.mesh_height() + 1;
+        // Directed links: east + west on each row, south + north in each
+        // column.
+        let links = 2 * ((width - 1) * height + width * (height - 1)) as usize;
         Mesh {
-            width: config.mesh_width,
-            height: config.mesh_height() + 1, // one extra row hosts the device tile
+            width,
+            height,
             cores: config.cores,
             hop_latency: config.noc_hop_latency,
             link_bytes_per_cycle: config.noc_link_bytes_per_cycle,
-            link_bytes: HashMap::new(),
+            link_bytes: vec![0; links],
             stats: NocStats::default(),
         }
     }
@@ -128,8 +131,8 @@ impl Mesh {
         }
         let route = self.route(a, b);
         let mut worst_util: f64 = 0.0;
-        for link in &route {
-            let c = self.link_bytes.entry(*link).or_insert(0);
+        for link in route {
+            let c = &mut self.link_bytes[link];
             *c += bytes;
             if now_cycles > 0 {
                 let cap = self.link_bytes_per_cycle * now_cycles as f64;
@@ -149,21 +152,26 @@ impl Mesh {
         if now_cycles == 0 {
             return 0.0;
         }
-        let cap = self.link_bytes_per_cycle * now_cycles as f64;
-        self.link_bytes
-            .values()
-            .map(|&b| b as f64 / cap)
-            .fold(0.0, f64::max)
+        let peak = self.link_bytes.iter().copied().max().unwrap_or(0);
+        peak as f64 / (self.link_bytes_per_cycle * now_cycles as f64)
     }
 
     /// Mean utilization across links that carried any traffic.
     pub fn mean_link_utilization(&self, now_cycles: u64) -> f64 {
-        if now_cycles == 0 || self.link_bytes.is_empty() {
+        if now_cycles == 0 {
+            return 0.0;
+        }
+        // Sum the integer byte counters (exact, order-free) and divide once.
+        let (active, total) = self
+            .link_bytes
+            .iter()
+            .filter(|&&b| b > 0)
+            .fold((0u64, 0u64), |(n, t), &b| (n + 1, t + b));
+        if active == 0 {
             return 0.0;
         }
         let cap = self.link_bytes_per_cycle * now_cycles as f64;
-        let sum: f64 = self.link_bytes.values().map(|&b| b as f64 / cap).sum();
-        sum / self.link_bytes.len() as f64
+        total as f64 / cap / active as f64
     }
 
     /// Whether traffic concentrates on a hotspot: peak link utilization is
@@ -180,29 +188,39 @@ impl Mesh {
 
     /// Clears traffic accounting (between experiment phases).
     pub fn reset_traffic(&mut self) {
-        self.link_bytes.clear();
+        self.link_bytes.fill(0);
         self.stats = NocStats::default();
     }
 
-    fn route(&self, a: Tile, b: Tile) -> Vec<Link> {
+    /// Dense id of the directed link leaving `(x, y)` one step in `(dx, dy)`.
+    /// Ids partition into four direction classes: east, west, south, north.
+    fn link_id(&self, x: u32, y: u32, dx: i32, dy: i32) -> usize {
+        let (w, h) = (self.width as usize, self.height as usize);
+        let (x, y) = (x as usize, y as usize);
+        let east = (w - 1) * h;
+        let south = w * (h - 1);
+        match (dx, dy) {
+            (1, 0) => y * (w - 1) + x,
+            (-1, 0) => east + y * (w - 1) + (x - 1),
+            (0, 1) => 2 * east + y * w + x,
+            (0, -1) => 2 * east + south + (y - 1) * w + x,
+            _ => unreachable!("XY routing only moves one step on one axis"),
+        }
+    }
+
+    fn route(&self, a: Tile, b: Tile) -> Vec<usize> {
         let (mut x, mut y) = self.coords(a);
         let (bx, by) = self.coords(b);
         let mut links = Vec::with_capacity(self.hops(a, b) as usize);
         while x != bx {
-            let nx = if bx > x { x + 1 } else { x - 1 };
-            links.push(Link {
-                from: (x, y),
-                to: (nx, y),
-            });
-            x = nx;
+            let dx = if bx > x { 1 } else { -1 };
+            links.push(self.link_id(x, y, dx, 0));
+            x = x.wrapping_add_signed(dx);
         }
         while y != by {
-            let ny = if by > y { y + 1 } else { y - 1 };
-            links.push(Link {
-                from: (x, y),
-                to: (x, ny),
-            });
-            y = ny;
+            let dy = if by > y { 1 } else { -1 };
+            links.push(self.link_id(x, y, 0, dy));
+            y = y.wrapping_add_signed(dy);
         }
         links
     }

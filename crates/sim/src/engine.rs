@@ -451,11 +451,17 @@ impl Engine {
         let protos = Self::build_prototypes(&unique, workers);
         let run_plan = |plan: &RunPlan| -> RunReport {
             let started = Instant::now();
-            let (_, guest, workload) = protos
-                .iter()
-                .find(|(spec, _, _)| *spec == plan.workload)
-                .expect("prototype built for every plan");
-            let guest = guest.lock().expect("prototype image").clone();
+            let Some((_, guest, workload)) =
+                protos.iter().find(|(spec, _, _)| *spec == plan.workload)
+            else {
+                unreachable!("a prototype was built for every plan's spec")
+            };
+            // Workers only read the prototype; a poisoned lock still holds a
+            // usable image, so recover it rather than propagating the panic.
+            let guest = guest
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
             let mut config = self.config.clone();
             plan.overrides.apply(&mut config);
             let mut sys = System::from_parts(config, guest);
@@ -476,16 +482,22 @@ impl Engine {
                         break;
                     }
                     let report = run_plan(&plans[i]);
-                    *slots[i].lock().expect("result slot") = Some(report);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(report);
                 });
             }
         });
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot")
-                    .expect("worker filled every slot")
+                let filled = slot
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                match filled {
+                    Some(report) => report,
+                    None => unreachable!("the work-stealing loop fills every slot"),
+                }
             })
             .collect()
     }
@@ -518,7 +530,10 @@ impl Engine {
                     if i >= unique.len() {
                         break;
                     }
-                    *slots[i].lock().expect("proto slot") = Some(unique[i].build_image());
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(unique[i].build_image());
                 });
             }
         });
@@ -526,10 +541,12 @@ impl Engine {
             .iter()
             .zip(slots)
             .map(|(spec, slot)| {
-                let (guest, w) = slot
+                let filled = slot
                     .into_inner()
-                    .expect("proto slot")
-                    .expect("builder filled every slot");
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let Some((guest, w)) = filled else {
+                    unreachable!("the builder loop fills every slot")
+                };
                 (*spec, Mutex::new(guest), w)
             })
             .collect()
@@ -562,12 +579,16 @@ impl Engine {
         match mode {
             RunMode::Baseline => Self::execute_baseline(sys, workload, build),
             RunMode::QeiBlocking | RunMode::LocalCompareAblation => {
-                let scheme = scheme.expect("QEI modes require a scheme");
+                let Some(scheme) = scheme else {
+                    panic!("QEI modes require a scheme")
+                };
                 let trace = build_qei_trace_blocking(workload);
                 Self::execute_qei(sys, workload, mode, scheme, trace, build)
             }
             RunMode::QeiNonblocking { batch } => {
-                let scheme = scheme.expect("QEI modes require a scheme");
+                let Some(scheme) = scheme else {
+                    panic!("QEI modes require a scheme")
+                };
                 let trace = build_qei_trace_nonblocking(workload, batch);
                 Self::execute_qei(sys, workload, mode, scheme, trace, build)
             }
@@ -636,7 +657,7 @@ impl Engine {
         let result_buf = sys
             .guest_mut()
             .alloc((n_jobs.max(1) * 8) as u64, 64)
-            .expect("guest alloc for NB results");
+            .unwrap_or_else(|e| panic!("guest alloc for NB results failed: {e}"));
 
         let mut core = CoreModel::new(sys.config(), sys.core_id());
         let mut accel = QeiAccelerator::new(sys.config(), scheme, sys.core_id());

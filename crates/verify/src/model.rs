@@ -1,0 +1,530 @@
+//! Structure models: the abstract input domains the explorer drives a CFA
+//! with.
+//!
+//! A [`StructureModel`] describes, for one `(dtype, subtype)` pair, the
+//! header parameter domain, representative query keys, the set of staged-line
+//! shapes a `Read` of a given length can observe, the hash values to fork on,
+//! and — for the header-field check — which header fields the structure's
+//! builder in `qei-datastructs` actually writes.
+//!
+//! Line variants are *shape-plausible*: they follow the node layouts the
+//! builders produce (null and non-null pointers, empty and populated
+//! buckets, corrupt count fields), so the exploration covers exactly the
+//! branches real memory contents can select. Pointer-valued fields draw from
+//! a tiny pool of synthetic addresses ([`NODE_A`], [`NODE_B`], [`KEY_PTR`])
+//! — reusing addresses is what lets cyclic shapes (a list that chases
+//! itself) collapse into finitely many explored configurations.
+
+use qei_core::firmware::btree::{self, BTREE_TYPE};
+use qei_core::firmware::{hash_table, lpm, skip_list, trie};
+use qei_core::{DsType, Header};
+use qei_mem::VirtAddr;
+
+/// Synthetic node address A (primary).
+pub const NODE_A: u64 = 0x7f00_0000_1000;
+/// Synthetic node address B (secondary — alternate child / tower).
+pub const NODE_B: u64 = 0x7f00_0000_2000;
+/// Synthetic out-of-line key address.
+pub const KEY_PTR: u64 = 0x7f00_0000_3000;
+
+/// The header fields the header-field check can perturb. `ds_ptr`, `dtype`,
+/// `subtype`, and `key_len` are structural (every builder writes them and
+/// the dispatch path consumes them); the five parameter fields below are
+/// only meaningful when the builder initializes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderField {
+    /// `flags` at offset 12.
+    Flags,
+    /// `capacity` at offset 16.
+    Capacity,
+    /// `aux0` at offset 24.
+    Aux0,
+    /// `aux1` at offset 32.
+    Aux1,
+    /// `aux2` at offset 40.
+    Aux2,
+}
+
+impl HeaderField {
+    /// All perturbable fields.
+    pub const ALL: [HeaderField; 5] = [
+        HeaderField::Flags,
+        HeaderField::Capacity,
+        HeaderField::Aux0,
+        HeaderField::Aux1,
+        HeaderField::Aux2,
+    ];
+
+    /// Field name as it appears in diagnostics and the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            HeaderField::Flags => "flags",
+            HeaderField::Capacity => "capacity",
+            HeaderField::Aux0 => "aux0",
+            HeaderField::Aux1 => "aux1",
+            HeaderField::Aux2 => "aux2",
+        }
+    }
+
+    /// Returns `header` with this field flipped to a different value.
+    pub fn perturb(self, header: &Header) -> Header {
+        let mut h = *header;
+        match self {
+            HeaderField::Flags => h.flags ^= 0x5A5A_0000,
+            HeaderField::Capacity => h.capacity ^= 0x5A5A_0000_0000,
+            HeaderField::Aux0 => h.aux0 ^= 0x5A5A_0000_0000,
+            HeaderField::Aux1 => h.aux1 ^= 0x5A5A_0000_0000,
+            HeaderField::Aux2 => h.aux2 ^= 0x5A5A_0000_0000,
+        }
+        h
+    }
+}
+
+/// The abstract input domain for one firmware program.
+pub struct StructureModel {
+    /// Display name (matches the builder, not necessarily the CFA).
+    pub name: &'static str,
+    /// Header type byte this model verifies.
+    pub dtype: u8,
+    /// Header subtype byte.
+    pub subtype: u8,
+    /// Header parameter domain: one exploration root per header × key.
+    pub headers: Vec<Header>,
+    /// Representative query keys.
+    pub keys: Vec<Vec<u8>>,
+    /// Parameter fields the structure's builder writes. Any behavioral
+    /// dependence on a field outside this set is an uninitialized-read bug.
+    pub fields_written: Vec<HeaderField>,
+    /// Hash-unit outcomes to fork on.
+    pub hash_values: Vec<u64>,
+    /// Staged-line shapes for a `Read` of `len` bytes (resized to `len` by
+    /// the explorer).
+    pub lines: fn(&Header, u32) -> Vec<Vec<u8>>,
+}
+
+/// Byte-buffer builder for node-shaped line variants.
+struct Line(Vec<u8>);
+
+impl Line {
+    fn new(len: usize) -> Self {
+        Line(vec![0u8; len])
+    }
+
+    fn u64(mut self, off: usize, v: u64) -> Self {
+        if off + 8 <= self.0.len() {
+            self.0[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    fn u64_be(mut self, off: usize, v: u64) -> Self {
+        if off + 8 <= self.0.len() {
+            self.0[off..off + 8].copy_from_slice(&v.to_be_bytes());
+        }
+        self
+    }
+
+    fn u16(mut self, off: usize, v: u16) -> Self {
+        if off + 2 <= self.0.len() {
+            self.0[off..off + 2].copy_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    fn u8(mut self, off: usize, v: u8) -> Self {
+        if off < self.0.len() {
+            self.0[off] = v;
+        }
+        self
+    }
+
+    fn build(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+fn header(dtype: DsType, subtype: u8, key_len: u16) -> Header {
+    Header {
+        ds_ptr: VirtAddr(NODE_A),
+        dtype,
+        subtype,
+        key_len,
+        flags: 0,
+        capacity: 0,
+        aux0: 0,
+        aux1: 0,
+        aux2: 0,
+    }
+}
+
+/// 24-byte list node `{next, key_ptr, value}` — shared by the linked list
+/// and the chained hash table's chains.
+fn list_node_lines() -> Vec<Vec<u8>> {
+    vec![
+        // Tail node: terminates the chase.
+        Line::new(24).u64(0, 0).u64(8, KEY_PTR).u64(16, 7).build(),
+        // Interior node: chases on (possibly forming a cycle at NODE_A).
+        Line::new(24)
+            .u64(0, NODE_A)
+            .u64(8, KEY_PTR)
+            .u64(16, 7)
+            .build(),
+    ]
+}
+
+fn linked_list_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    match len {
+        24 => list_node_lines(),
+        _ => vec![Vec::new()],
+    }
+}
+
+fn chained_hash_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    match len {
+        // Bucket head slot: empty or a chain.
+        8 => vec![Line::new(8).build(), Line::new(8).u64(0, NODE_A).build()],
+        24 => list_node_lines(),
+        _ => vec![Vec::new()],
+    }
+}
+
+fn cuckoo_lines(h: &Header, len: u32) -> Vec<Vec<u8>> {
+    let bucket_len = (h.aux0 * hash_table::CUCKOO_ENTRY_BYTES) as u32;
+    if len == bucket_len {
+        let n = bucket_len as usize;
+        let last = (h.aux0 as usize - 1) * hash_table::CUCKOO_ENTRY_BYTES as usize;
+        return vec![
+            // All slots empty.
+            Line::new(n).build(),
+            // Signature of hash 0 in the first slot.
+            Line::new(n).u64(0, 1).u64(8, KEY_PTR).build(),
+            // Signature of hash 0x30000 in the last slot.
+            Line::new(n).u64(last, 3).u64(last + 8, KEY_PTR).build(),
+        ];
+    }
+    if len == 8 {
+        // Key-value record's value word.
+        return vec![Line::new(8).u64(0, 42).build()];
+    }
+    vec![Vec::new()]
+}
+
+fn skip_list_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    if len == 8 {
+        // Single forward-pointer refetch beyond the retained window.
+        return vec![Line::new(8).build(), Line::new(8).u64(0, NODE_A).build()];
+    }
+    let n = len as usize;
+    let base = skip_list::NODE_NEXT_BASE_OFF as usize;
+    let mut no_next = Line::new(n).u64(8, KEY_PTR).u64(16, 7);
+    let mut next_a = Line::new(n).u64(8, KEY_PTR).u64(16, 7);
+    let mut next_b = Line::new(n).u64(8, KEY_PTR).u64(16, 7);
+    let mut off = base;
+    while off + 8 <= n {
+        no_next = no_next.u64(off, 0);
+        next_a = next_a.u64(off, NODE_A);
+        next_b = next_b.u64(off, NODE_B);
+        off += 8;
+    }
+    vec![no_next.build(), next_a.build(), next_b.build()]
+}
+
+fn bst_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    match len {
+        32 => vec![
+            // Leaf: both children null.
+            Line::new(32).u64_be(0, 5).u64(8, 9).build(),
+            // Interior: both subtrees present.
+            Line::new(32)
+                .u64_be(0, 5)
+                .u64(8, 9)
+                .u64(16, NODE_A)
+                .u64(24, NODE_B)
+                .build(),
+        ],
+        _ => vec![Vec::new()],
+    }
+}
+
+/// Trie/LPM node variants over the shared `out/fail/count/children` layout.
+fn trie_node_lines(with_fail: bool) -> Vec<Vec<u8>> {
+    let n = trie::NODE_COMBINED_BYTES as usize;
+    let count_off = trie::NODE_CHILD_COUNT_OFF as usize;
+    let child = trie::NODE_CHILDREN_OFF as usize;
+    let mut v = vec![
+        // Leaf: no children, no output.
+        Line::new(n).build(),
+        // One inline child matching key byte 0x61, with an output link.
+        Line::new(n)
+            .u64(0, 1)
+            .u16(count_off, 1)
+            .u8(child, 0x61)
+            .u64(child + 8, NODE_A)
+            .build(),
+        // Wide node: child array does not fit the combined fetch.
+        Line::new(n).u16(count_off, 3).build(),
+        // Corrupt count: must be clamped, not turned into a huge read.
+        Line::new(n).u16(count_off, 0xFFFF).build(),
+    ];
+    if with_fail {
+        // Failure link with a non-matching child (forces the fail hop).
+        v.push(
+            Line::new(n)
+                .u64(trie::NODE_FAIL_OFF as usize, NODE_B)
+                .u16(count_off, 1)
+                .u8(child, 0xFF)
+                .u64(child + 8, NODE_A)
+                .build(),
+        );
+    }
+    v
+}
+
+fn trie_child_array_lines(len: u32) -> Vec<Vec<u8>> {
+    let n = len as usize;
+    let e = trie::CHILD_ENTRY_BYTES as usize;
+    vec![
+        // Sorted entries: a match for key byte 0x61 plus fillers.
+        Line::new(n)
+            .u8(0, 0x61)
+            .u64(8, NODE_A)
+            .u8(e, 0x62)
+            .u64(e + 8, NODE_B)
+            .u8(2 * e, 0xFF)
+            .build(),
+        // No matching byte anywhere.
+        Line::new(n).build(),
+    ]
+}
+
+fn trie_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    match len as u64 {
+        trie::NODE_COMBINED_BYTES => trie_node_lines(true),
+        // Finishing fetch of the last node's header.
+        trie::NODE_HEADER_BYTES => vec![Line::new(24).u64(0, 5).build()],
+        _ => trie_child_array_lines(len),
+    }
+}
+
+fn lpm_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    match len as u64 {
+        trie::NODE_COMBINED_BYTES => {
+            let mut v = trie_node_lines(false);
+            // A node carrying a next-hop (deepest-route bookkeeping).
+            v.push(
+                Line::new(trie::NODE_COMBINED_BYTES as usize)
+                    .u64(0, 9)
+                    .build(),
+            );
+            v
+        }
+        _ => trie_child_array_lines(len),
+    }
+}
+
+fn btree_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    if len as u64 != btree::NODE_BYTES {
+        return vec![Vec::new()];
+    }
+    let n = btree::NODE_BYTES as usize;
+    let keys = btree::NODE_KEYS_OFF as usize;
+    let ptrs = btree::NODE_PTRS_OFF as usize;
+    vec![
+        // Leaf with two keys.
+        Line::new(n)
+            .u16(0, 1)
+            .u16(2, 2)
+            .u64_be(keys, 5)
+            .u64_be(keys + 8, 9)
+            .u64(ptrs, 50)
+            .u64(ptrs + 8, 90)
+            .build(),
+        // Corrupt leaf count: the scan must stay inside the staged node.
+        Line::new(n).u16(0, 1).u16(2, 0xFFFF).build(),
+        // Interior node with both children present.
+        Line::new(n)
+            .u16(2, 1)
+            .u64_be(keys, 5)
+            .u64(ptrs, NODE_A)
+            .u64(ptrs + 8, NODE_B)
+            .build(),
+        // Interior node with null children (truncated tree).
+        Line::new(n).u16(2, 1).u64_be(keys, 5).build(),
+    ]
+}
+
+fn generic_lines(_h: &Header, len: u32) -> Vec<Vec<u8>> {
+    vec![vec![0u8; len as usize], vec![0x01u8; len as usize]]
+}
+
+/// Models for the seven built-in programs plus the loadable B+-tree, in
+/// `(dtype, subtype)` order.
+pub fn builtin_models() -> Vec<StructureModel> {
+    let def_hashes = vec![0u64, 0x3_0000];
+    vec![
+        StructureModel {
+            name: "linked-list",
+            dtype: DsType::LinkedList.to_byte(),
+            subtype: 0,
+            headers: vec![header(DsType::LinkedList, 0, 8), {
+                let mut h = header(DsType::LinkedList, 0, 8);
+                h.ds_ptr = VirtAddr(0); // empty list
+                h
+            }],
+            keys: vec![b"k0000000".to_vec()],
+            fields_written: vec![],
+            hash_values: def_hashes.clone(),
+            lines: linked_list_lines,
+        },
+        StructureModel {
+            name: "chained-hash",
+            dtype: DsType::HashTable.to_byte(),
+            subtype: hash_table::SUBTYPE_CHAINED,
+            headers: vec![{
+                let mut h = header(DsType::HashTable, 0, 8);
+                h.capacity = 2;
+                h.aux1 = 0x1111;
+                h
+            }],
+            keys: vec![b"k0000000".to_vec()],
+            fields_written: vec![HeaderField::Capacity, HeaderField::Aux1],
+            hash_values: def_hashes.clone(),
+            lines: chained_hash_lines,
+        },
+        StructureModel {
+            name: "cuckoo-hash",
+            dtype: DsType::HashTable.to_byte(),
+            subtype: hash_table::SUBTYPE_CUCKOO,
+            headers: vec![
+                {
+                    let mut h = header(DsType::HashTable, 1, 8);
+                    h.capacity = 2;
+                    h.aux0 = 1;
+                    h.aux1 = 0x1111;
+                    h.aux2 = 0x2222;
+                    h
+                },
+                {
+                    let mut h = header(DsType::HashTable, 1, 8);
+                    h.capacity = 2;
+                    h.aux0 = 2;
+                    h.aux1 = 0x1111;
+                    h.aux2 = 0x2222;
+                    h
+                },
+            ],
+            keys: vec![b"k0000000".to_vec()],
+            fields_written: vec![
+                HeaderField::Capacity,
+                HeaderField::Aux0,
+                HeaderField::Aux1,
+                HeaderField::Aux2,
+            ],
+            hash_values: def_hashes.clone(),
+            lines: cuckoo_lines,
+        },
+        StructureModel {
+            name: "skip-list",
+            dtype: DsType::SkipList.to_byte(),
+            subtype: 0,
+            headers: vec![
+                {
+                    let mut h = header(DsType::SkipList, 0, 8);
+                    h.aux0 = 2;
+                    h
+                },
+                {
+                    // Enough levels that the walk leaves the 8-entry
+                    // retained-pointer window (the SL_NEXT8 state).
+                    let mut h = header(DsType::SkipList, 0, 8);
+                    h.aux0 = 9;
+                    h
+                },
+            ],
+            keys: vec![b"k0000000".to_vec()],
+            fields_written: vec![HeaderField::Aux0],
+            hash_values: def_hashes.clone(),
+            lines: skip_list_lines,
+        },
+        StructureModel {
+            name: "bst",
+            dtype: DsType::Bst.to_byte(),
+            subtype: 0,
+            headers: vec![header(DsType::Bst, 0, 8)],
+            keys: vec![5u64.to_be_bytes().to_vec()],
+            fields_written: vec![],
+            hash_values: def_hashes.clone(),
+            lines: bst_lines,
+        },
+        StructureModel {
+            name: "ac-trie",
+            dtype: DsType::Trie.to_byte(),
+            subtype: 0,
+            headers: vec![{
+                let mut h = header(DsType::Trie, 0, 2);
+                h.capacity = 4;
+                h
+            }],
+            keys: vec![vec![0x61], vec![0x61, 0x62]],
+            fields_written: vec![HeaderField::Capacity],
+            hash_values: def_hashes.clone(),
+            lines: trie_lines,
+        },
+        StructureModel {
+            name: "lpm-trie",
+            dtype: DsType::Trie.to_byte(),
+            subtype: lpm::SUBTYPE_LPM,
+            headers: vec![{
+                let mut h = header(DsType::Trie, lpm::SUBTYPE_LPM, 4);
+                h.capacity = 4;
+                h
+            }],
+            keys: vec![vec![0x61], vec![0x61, 0x62]],
+            fields_written: vec![HeaderField::Capacity],
+            hash_values: def_hashes.clone(),
+            lines: lpm_lines,
+        },
+        StructureModel {
+            name: "bplus-tree",
+            dtype: BTREE_TYPE,
+            subtype: 0,
+            headers: vec![{
+                let mut h = header(DsType::Custom(BTREE_TYPE), 0, 8);
+                h.capacity = 3;
+                h.aux0 = btree::FANOUT as u64;
+                h
+            }],
+            keys: vec![
+                5u64.to_be_bytes().to_vec(),
+                7u64.to_be_bytes().to_vec(),
+                // Shorter than the 8-byte inline key: must fault, not panic.
+                vec![1, 2, 3],
+            ],
+            fields_written: vec![HeaderField::Capacity, HeaderField::Aux0],
+            hash_values: def_hashes,
+            lines: btree_lines,
+        },
+    ]
+}
+
+/// A structure-agnostic model for custom firmware without a dedicated
+/// model: zero-filled and pattern-filled lines, one generic header, one
+/// 8-byte key. Weaker than a dedicated model (it cannot prove header-field
+/// or shape-specific properties) but still drives the graph checks.
+pub fn generic_model(dtype: u8, subtype: u8) -> StructureModel {
+    let mut h = header(DsType::Custom(dtype), subtype, 8);
+    h.capacity = 2;
+    h.aux0 = 1;
+    h.aux1 = 1;
+    h.aux2 = 1;
+    StructureModel {
+        name: "generic",
+        dtype,
+        subtype,
+        headers: vec![h],
+        keys: vec![b"k0000000".to_vec()],
+        fields_written: HeaderField::ALL.to_vec(),
+        hash_values: vec![0, 0x3_0000],
+        lines: generic_lines,
+    }
+}

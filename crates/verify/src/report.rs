@@ -1,0 +1,104 @@
+//! Deterministic JSON rendering of a [`VerifyReport`].
+//!
+//! Hand-rolled like `qei-bench`'s report writer: fixed key order, sorted
+//! program order, no floating point — two runs over the same firmware store
+//! produce byte-identical output, so the CI artifact diffs cleanly.
+
+use crate::{ProgramReport, VerifyReport};
+
+/// Renders the whole report as a JSON document.
+pub fn render(report: &VerifyReport) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"qei-verify-v1\",\n");
+    out.push_str(&format!("  \"ok\": {},\n", report.ok()));
+    out.push_str(&format!(
+        "  \"programs_checked\": {},\n",
+        report.programs.len()
+    ));
+    out.push_str("  \"programs\": [\n");
+    for (i, p) in report.programs.iter().enumerate() {
+        render_program(&mut out, p);
+        if i + 1 < report.programs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn render_program(out: &mut String, p: &ProgramReport) {
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"cfa\": {},\n", json_str(p.cfa)));
+    out.push_str(&format!("      \"model\": {},\n", json_str(p.model)));
+    out.push_str(&format!("      \"dtype\": {},\n", p.dtype));
+    out.push_str(&format!("      \"subtype\": {},\n", p.subtype));
+    out.push_str(&format!("      \"ok\": {},\n", p.ok()));
+    out.push_str(&format!(
+        "      \"states_declared\": {},\n",
+        p.states_declared
+    ));
+    let states: Vec<String> = p.states_observed.iter().map(u8::to_string).collect();
+    out.push_str(&format!(
+        "      \"states_observed\": [{}],\n",
+        states.join(", ")
+    ));
+    out.push_str(&format!("      \"configs\": {},\n", p.configs));
+    out.push_str(&format!("      \"transitions\": {},\n", p.transitions));
+    out.push_str(&format!("      \"terminals\": {},\n", p.terminals));
+    out.push_str("      \"diagnostics\": [");
+    if p.diagnostics.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push('\n');
+        for (i, d) in p.diagnostics.iter().enumerate() {
+            out.push_str("        {");
+            out.push_str(&format!("\"check\": {}, ", json_str(d.check.id())));
+            match d.state {
+                Some(s) => out.push_str(&format!("\"state\": {s}, ")),
+                None => out.push_str("\"state\": null, "),
+            }
+            out.push_str(&format!("\"detail\": {}}}", json_str(&d.detail)));
+            if i + 1 < p.diagnostics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("      ]\n");
+    }
+    out.push_str("    }");
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_str;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

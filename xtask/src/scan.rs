@@ -1,0 +1,366 @@
+//! The scanning machinery: a light Rust lexer that blanks comments and
+//! string literals (so `"HashMap"` in a diagnostic message is not a
+//! finding), a `#[cfg(test)]` block tracker (test code is exempt from every
+//! rule), and the rule table.
+
+/// A source file with comments/strings blanked and test regions mapped.
+pub struct ScrubbedFile {
+    /// Line-by-line scrubbed text. Comment and string-literal bytes are
+    /// replaced with spaces; line boundaries are preserved so findings
+    /// report real line numbers.
+    lines: Vec<String>,
+    /// `lines[i]` is inside a `#[cfg(test)]` item.
+    in_test: Vec<bool>,
+}
+
+impl ScrubbedFile {
+    pub fn new(text: &str) -> ScrubbedFile {
+        let scrubbed = scrub(text);
+        let lines: Vec<String> = scrubbed.lines().map(str::to_string).collect();
+        let in_test = test_lines(&lines);
+        ScrubbedFile { lines, in_test }
+    }
+
+    /// Non-test lines as `(1-based line number, text)`.
+    fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.in_test[*i])
+            .map(|(i, l)| (i + 1, l.as_str()))
+    }
+}
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving newlines. Handles nested `/* */`, escapes in strings, raw
+/// strings `r"…"`/`r#"…"#`, and distinguishes lifetimes from char literals.
+fn scrub(text: &str) -> String {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    let n = b.len();
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"…" or r#"…"# (any number of #).
+        if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                out.push(' '); // the `r`
+                for _ in 0..hashes {
+                    out.push(' ');
+                }
+                out.push(' '); // opening quote
+                j += 1;
+                'raw: while j < n {
+                    if b[j] == '"' {
+                        let mut k = j + 1;
+                        let mut seen = 0;
+                        while k < n && seen < hashes && b[k] == '#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            for _ in j..k {
+                                out.push(' ');
+                            }
+                            j = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(blank(b[j]));
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' is a char only if a closing quote
+        // follows within a couple of characters (or after an escape).
+        if c == '\'' && i + 1 < n {
+            let is_char = if b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && b[i + 2] == '\''
+            };
+            if is_char {
+                out.push(' ');
+                i += 1;
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                while i < n && b[i] != '\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Marks the lines belonging to `#[cfg(test)]`-gated items by matching the
+/// braces of the item that follows the attribute.
+fn test_lines(lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the gated item, then its matching close.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut j = i;
+        'item: while j < lines.len() {
+            mask[j] = true;
+            for ch in lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'item;
+                        }
+                    }
+                    // An attribute gating a braceless item (e.g. a `use`)
+                    // ends at the first `;` before any brace.
+                    ';' if !opened => break 'item,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// One lint rule: which files it covers and how it finds violations.
+pub struct Rule {
+    pub name: &'static str,
+    /// Does the rule apply to this repo-relative path?
+    pub applies: fn(&str) -> bool,
+    /// Returns `(line, message)` findings.
+    pub check: fn(&ScrubbedFile) -> Vec<(usize, String)>,
+}
+
+/// Crates whose code *is* the simulated machine: iteration order and float
+/// rounding inside them change published numbers.
+const SIM_STATE_CRATES: [&str; 5] = [
+    "crates/sim/",
+    "crates/cache/",
+    "crates/mem/",
+    "crates/core/",
+    "crates/noc/",
+];
+
+/// Crates on the path from simulation to the figures in the paper: a panic
+/// here kills a sweep and eats its partial results.
+const REPORT_CRATES: [&str; 8] = [
+    "crates/core/",
+    "crates/sim/",
+    "crates/cache/",
+    "crates/mem/",
+    "crates/noc/",
+    "crates/config/",
+    "crates/power/",
+    "crates/experiments/",
+];
+
+fn in_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-iter",
+        applies: |p| in_any(p, &SIM_STATE_CRATES),
+        check: |f| {
+            find_tokens(
+                f,
+                &["HashMap", "HashSet"],
+                "hash containers have randomized iteration order; use BTreeMap/Vec \
+                 in simulation-state crates",
+            )
+        },
+    },
+    Rule {
+        name: "wall-clock",
+        applies: |p| !p.starts_with("crates/bench/") && !p.starts_with("xtask/"),
+        check: |f| {
+            find_tokens(
+                f,
+                &["Instant::now", "SystemTime"],
+                "host wall-clock reads are nondeterministic; simulated time comes \
+                 from cycle counters (bench harness and --profile paths only)",
+            )
+        },
+    },
+    Rule {
+        name: "unwrap",
+        applies: |p| in_any(p, &REPORT_CRATES),
+        check: |f| {
+            find_tokens(
+                f,
+                &[".unwrap()", ".expect("],
+                "report-producing crates must fail with typed errors or a panic! \
+                 that explains the invariant, not unwrap/expect",
+            )
+        },
+    },
+    Rule {
+        name: "float-stats",
+        applies: |p| in_any(p, &SIM_STATE_CRATES),
+        check: float_state_fields,
+    },
+];
+
+fn find_tokens(f: &ScrubbedFile, tokens: &[&str], why: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (line, text) in f.code_lines() {
+        for t in tokens {
+            if text.contains(t) {
+                out.push((line, format!("`{t}`: {why}")));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Flags `f64` *field declarations* — accumulator state. Derived read-outs
+/// (`fn … -> f64`) and transient `let` bindings are fine: the rule is that
+/// anything carried across simulation steps accumulates in integers.
+fn float_state_fields(f: &ScrubbedFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (line, text) in f.code_lines() {
+        if !text.contains(": f64") {
+            continue;
+        }
+        let t = text.trim();
+        if t.contains("fn ") || t.contains("let ") || t.contains("->") {
+            continue;
+        }
+        out.push((
+            line,
+            "`f64` state field: accumulate statistics in integers and divide \
+             once at the report boundary (StatsRegistry owns derived floats)"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let s = scrub("let x = \"HashMap\"; // HashMap\nlet y = 1; /* Instant::now */");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) { let r = r#\"HashSet\"#; }");
+        assert!(!s.contains("HashSet"));
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+        let c = scrub("let c = 'h'; let esc = '\\n'; let m = HashMap::new();");
+        assert!(c.contains("HashMap"), "code outside literals survives");
+        assert!(!c.contains('h') || c.contains("HashMap"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() { z.unwrap(); }\n";
+        let f = ScrubbedFile::new(src);
+        let hits = find_tokens(&f, &[".unwrap()"], "no");
+        let lines: Vec<usize> = hits.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![1, 6], "test mod body is exempt");
+    }
+
+    #[test]
+    fn float_rule_targets_fields_only() {
+        let src = "struct S {\n    util: f64,\n}\nfn util(&self) -> f64 { 0.0 }\nfn go() { let x: f64 = 1.0; }\n";
+        let f = ScrubbedFile::new(src);
+        let hits = float_state_fields(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+    }
+}
