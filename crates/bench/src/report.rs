@@ -2,7 +2,9 @@
 //! [`BenchRecord`]s a bench binary produces, writes them to a deterministic
 //! `BENCH_<suite>.json` report, and — in `--check <baseline>` mode — fails
 //! the process when any bench's mean time regresses past a threshold
-//! relative to a committed baseline report.
+//! relative to a committed baseline report, or when the run and the
+//! baseline disagree about which benches exist (a dropped bench would
+//! otherwise silently escape the gate).
 //!
 //! No serde: the environment is offline, so the encoder mirrors
 //! `StatsRegistry`'s hand-rolled style (sorted keys, `{:?}` float
@@ -163,17 +165,28 @@ impl BenchSuite {
                 for line in &outcome.lines {
                     println!("  {line}");
                 }
-                if outcome.regressed.is_empty() {
-                    println!("check passed: no bench regressed past the threshold");
-                } else {
+                let mut failed = false;
+                if !outcome.regressed.is_empty() {
                     eprintln!(
                         "check FAILED: {} bench(es) regressed past +{}%: {}",
                         outcome.regressed.len(),
                         self.threshold_pct,
                         outcome.regressed.join(", ")
                     );
+                    failed = true;
+                }
+                if !outcome.mismatched.is_empty() {
+                    eprintln!(
+                        "check FAILED: {} bench(es) present on only one side (stale baseline or dropped bench): {}",
+                        outcome.mismatched.len(),
+                        outcome.mismatched.join(", ")
+                    );
+                    failed = true;
+                }
+                if failed {
                     std::process::exit(1);
                 }
+                println!("check passed: no bench regressed past the threshold");
             }
             Err(e) => {
                 eprintln!("error: baseline {}: {e}", baseline.display());
@@ -410,10 +423,14 @@ struct CompareOutcome {
     lines: Vec<String>,
     /// Names of benches whose mean regressed past the threshold.
     regressed: Vec<String>,
+    /// Benches present on only one side — a stale baseline or a silently
+    /// dropped bench, either of which would let regressions slip through.
+    mismatched: Vec<String>,
 }
 
 /// Compares current records against a baseline report body. Benches present
-/// only on one side are reported but never fail the check.
+/// only on one side land in `mismatched` and fail the check: a bench that
+/// disappears from the run is exactly how a regression gate goes blind.
 fn compare(
     current: &[BenchRecord],
     baseline_text: &str,
@@ -424,9 +441,11 @@ fn compare(
         current.iter().map(|r| (r.name.as_str(), r)).collect();
     let mut lines = Vec::new();
     let mut regressed = Vec::new();
+    let mut mismatched = Vec::new();
     for (name, rec) in &current {
         let Some(&base_mean) = baseline.get(*name) else {
             lines.push(format!("{name:40} new bench (no baseline entry)"));
+            mismatched.push((*name).to_owned());
             continue;
         };
         let delta_pct = if base_mean > 0.0 {
@@ -450,9 +469,14 @@ fn compare(
     for name in baseline.keys() {
         if !current.contains_key(name.as_str()) {
             lines.push(format!("{name:40} in baseline but not measured this run"));
+            mismatched.push(name.clone());
         }
     }
-    Ok(CompareOutcome { lines, regressed })
+    Ok(CompareOutcome {
+        lines,
+        regressed,
+        mismatched,
+    })
 }
 
 #[cfg(test)]
@@ -499,12 +523,33 @@ mod tests {
     }
 
     #[test]
-    fn compare_tolerates_new_and_missing_benches() {
-        let baseline = render_report("s", &[rec("old", 100.0)]);
-        let outcome = compare(&[rec("new", 5_000.0)], &baseline, 25.0).unwrap();
+    fn compare_fails_a_bench_missing_from_the_run() {
+        // A bench in the baseline that this run never measured means the
+        // gate is blind to it — that must fail, not warn.
+        let baseline = render_report("s", &[rec("kept", 100.0), rec("dropped", 100.0)]);
+        let outcome = compare(&[rec("kept", 100.0)], &baseline, 25.0).unwrap();
         assert!(outcome.regressed.is_empty());
-        assert!(outcome.lines.iter().any(|l| l.contains("new bench")));
+        assert_eq!(outcome.mismatched, vec!["dropped".to_owned()]);
         assert!(outcome.lines.iter().any(|l| l.contains("not measured")));
+    }
+
+    #[test]
+    fn compare_fails_a_bench_missing_from_the_baseline() {
+        // A new bench with no baseline entry means the committed baseline
+        // is stale and must be regenerated.
+        let baseline = render_report("s", &[rec("old", 100.0)]);
+        let outcome = compare(&[rec("old", 100.0), rec("new", 5_000.0)], &baseline, 25.0).unwrap();
+        assert!(outcome.regressed.is_empty());
+        assert_eq!(outcome.mismatched, vec!["new".to_owned()]);
+        assert!(outcome.lines.iter().any(|l| l.contains("new bench")));
+    }
+
+    #[test]
+    fn matched_benches_produce_no_mismatches() {
+        let baseline = render_report("s", &[rec("a", 100.0), rec("b", 100.0)]);
+        let outcome = compare(&[rec("a", 101.0), rec("b", 99.0)], &baseline, 25.0).unwrap();
+        assert!(outcome.mismatched.is_empty());
+        assert!(outcome.regressed.is_empty());
     }
 
     #[test]

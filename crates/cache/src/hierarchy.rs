@@ -6,6 +6,7 @@ use crate::set_cache::SetCache;
 use qei_config::{Cycles, MachineConfig};
 use qei_mem::PhysAddr;
 use qei_noc::{Mesh, Tile};
+use qei_trace::{Event, EventBuf, EventKind, TRACK_CACHE};
 
 /// Which level served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -64,6 +65,8 @@ pub struct MemoryHierarchy {
     noc: Mesh,
     cores: u32,
     stats: MemStats,
+    /// Cache miss/evict event ring (no-op unless tracing is enabled).
+    trace: EventBuf,
 }
 
 impl MemoryHierarchy {
@@ -87,6 +90,7 @@ impl MemoryHierarchy {
             noc: Mesh::new(config),
             cores: config.cores,
             stats: MemStats::default(),
+            trace: EventBuf::new(),
         }
     }
 
@@ -140,6 +144,12 @@ impl MemoryHierarchy {
                 level: HitLevel::L1,
             };
         }
+        self.trace
+            .emit(now, TRACK_CACHE, EventKind::CacheMiss, 1, line);
+        if let Some(victim) = l1.writeback {
+            self.trace
+                .emit(now, TRACK_CACHE, EventKind::CacheEvict, 1, victim);
+        }
         let inner = self.access_from_l2(core, pa, write, now);
         AccessResult {
             latency: Cycles(l1_lat) + inner.latency,
@@ -165,6 +175,12 @@ impl MemoryHierarchy {
                 latency: Cycles(l2_lat),
                 level: HitLevel::L2,
             };
+        }
+        self.trace
+            .emit(now, TRACK_CACHE, EventKind::CacheMiss, 2, line);
+        if let Some(victim) = l2.writeback {
+            self.trace
+                .emit(now, TRACK_CACHE, EventKind::CacheEvict, 2, victim);
         }
         // Miss: go to the home LLC slice over the NoC.
         let home = self.home_slice(pa);
@@ -200,6 +216,8 @@ impl MemoryHierarchy {
         }
         // Miss: only the tag probe is on the path (the data array is never
         // read); go to the home LLC slice without filling the L2.
+        self.trace
+            .emit(now, TRACK_CACHE, EventKind::CacheMiss, 2, line);
         const TAG_PROBE: u64 = 4;
         let home = self.home_slice(pa);
         let hop = self.noc.transfer(Tile(core), Tile(home), 64, now);
@@ -238,6 +256,12 @@ impl MemoryHierarchy {
                 level: HitLevel::Llc,
             };
         }
+        self.trace
+            .emit(now, TRACK_CACHE, EventKind::CacheMiss, 3, line);
+        if let Some(victim) = t.writeback {
+            self.trace
+                .emit(now, TRACK_CACHE, EventKind::CacheEvict, 3, victim);
+        }
         self.stats.dram_accesses += 1;
         let dram_lat = self.dram.access(line, now);
         AccessResult {
@@ -272,6 +296,17 @@ impl MemoryHierarchy {
         self.stats = MemStats::default();
         self.noc.reset_traffic();
         self.dram.reset();
+        self.trace.clear();
+    }
+
+    /// Takes the buffered cache *and* NoC trace events plus the combined
+    /// overwrite count, leaving both buffers empty.
+    pub fn drain_trace(&mut self) -> (Vec<Event>, u64) {
+        let (mut events, mut dropped) = self.trace.drain();
+        let (noc_events, noc_dropped) = self.noc.drain_trace();
+        events.extend(noc_events);
+        dropped += noc_dropped;
+        (events, dropped)
     }
 }
 

@@ -38,6 +38,9 @@ pub enum StatValue {
     Bool(bool),
     /// A label (workload name, scheme, mode).
     Str(String),
+    /// A log2-bucketed histogram as `(bucket index, count)` pairs in
+    /// ascending bucket order (only occupied buckets are stored).
+    Hist(Vec<(u32, u64)>),
 }
 
 impl From<u64> for StatValue {
@@ -67,6 +70,12 @@ impl From<&str> for StatValue {
 impl From<String> for StatValue {
     fn from(v: String) -> Self {
         StatValue::Str(v)
+    }
+}
+
+impl From<&crate::Log2Histogram> for StatValue {
+    fn from(h: &crate::Log2Histogram) -> Self {
+        StatValue::Hist(h.nonzero_buckets())
     }
 }
 
@@ -102,6 +111,16 @@ impl StatValue {
             }
             StatValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
             StatValue::Str(v) => write_json_string(v, out),
+            StatValue::Hist(buckets) => {
+                out.push('[');
+                for (i, (k, c)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{k},{c}]"));
+                }
+                out.push(']');
+            }
         }
     }
 }
@@ -265,6 +284,27 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count("run", "cycles"), 20);
         assert_eq!(a.count("noc", "bytes"), 64);
+    }
+
+    #[test]
+    fn histogram_values_render_as_bucket_pairs() {
+        let mut h = crate::Log2Histogram::new();
+        for v in [0u64, 1, 1, 5] {
+            h.record(v);
+        }
+        let mut reg = StatsRegistry::new();
+        reg.set("accel", "latency_hist", &h);
+        assert_eq!(
+            reg.to_json(),
+            r#"{"accel":{"latency_hist":[[0,1],[1,2],[3,1]]}}"#
+        );
+        assert_eq!(
+            reg.get("accel", "latency_hist").and_then(StatValue::as_u64),
+            None
+        );
+        let empty = crate::Log2Histogram::new();
+        reg.set("accel", "latency_hist", &empty);
+        assert_eq!(reg.to_json(), r#"{"accel":{"latency_hist":[]}}"#);
     }
 
     #[test]

@@ -30,10 +30,11 @@ use crate::firmware::{FirmwareStore, STEP_LIMIT};
 use crate::header::Header;
 use crate::qst::QueryStateTable;
 use crate::uop::{MicroOp, OpOutcome};
-use qei_cache::MemoryHierarchy;
-use qei_config::{Cycles, MachineConfig, Scheme, TlbParams};
+use qei_cache::{AccessResult, HitLevel, MemoryHierarchy};
+use qei_config::{Cycles, Log2Histogram, MachineConfig, Scheme, TlbParams};
 use qei_mem::{GuestMem, Tlb, VirtAddr};
 use qei_noc::Tile;
+use qei_trace::{qst_track, Event, EventBuf, EventKind, TRACK_ISSUE};
 
 /// Fixed cost of parsing the header and initializing a QST entry.
 const HEADER_PARSE_CYCLES: u64 = 2;
@@ -79,19 +80,42 @@ pub struct AccelStats {
     pub tlb_lookups: u64,
     /// TLB misses (page walks) on the accelerator path.
     pub tlb_misses: u64,
-    /// Sum of per-query latencies (submit → completion), cycles.
+    /// Sum of per-query latencies of *successful* queries (submit →
+    /// completion), cycles. Faulted queries accumulate into
+    /// `fault_latency_sum` instead, so a faulting workload no longer skews
+    /// the success mean.
     pub latency_sum: u64,
+    /// Sum of per-query latencies of faulted queries, cycles.
+    pub fault_latency_sum: u64,
+    /// Latency distribution of successful queries (log2 buckets).
+    pub latency_hist: Log2Histogram,
+    /// Latency distribution of faulted queries (log2 buckets).
+    pub fault_latency_hist: Log2Histogram,
     /// Non-blocking queries aborted by flushes.
     pub nb_aborts: u64,
 }
 
 impl AccelStats {
-    /// Mean per-query latency.
+    /// Mean per-query latency of successful completions only (0 when every
+    /// query faulted or none ran).
     pub fn mean_latency(&self) -> f64 {
-        if self.queries == 0 {
+        let ok = self.queries - self.faults;
+        if ok == 0 {
             0.0
         } else {
-            self.latency_sum as f64 / self.queries as f64
+            self.latency_sum as f64 / ok as f64
+        }
+    }
+
+    /// Records one completed query's latency into the per-outcome sum and
+    /// histogram.
+    fn record_latency(&mut self, latency: u64, faulted: bool) {
+        if faulted {
+            self.fault_latency_sum += latency;
+            self.fault_latency_hist.record(latency);
+        } else {
+            self.latency_sum += latency;
+            self.latency_hist.record(latency);
         }
     }
 
@@ -110,8 +134,27 @@ impl AccelStats {
         reg.set("accel", "tlb_lookups", self.tlb_lookups);
         reg.set("accel", "tlb_misses", self.tlb_misses);
         reg.set("accel", "latency_sum", self.latency_sum);
+        reg.set("accel", "latency_p50", self.latency_hist.p50());
+        reg.set("accel", "latency_p90", self.latency_hist.p90());
+        reg.set("accel", "latency_p99", self.latency_hist.p99());
+        reg.set("accel", "latency_max", self.latency_hist.max());
+        reg.set("accel", "latency_hist", &self.latency_hist);
+        reg.set("accel", "fault_latency_sum", self.fault_latency_sum);
+        reg.set("accel", "fault_latency_p99", self.fault_latency_hist.p99());
+        reg.set("accel", "fault_latency_max", self.fault_latency_hist.max());
+        reg.set("accel", "fault_latency_hist", &self.fault_latency_hist);
         reg.set("accel", "nb_aborts", self.nb_aborts);
         reg.set("accel", "mean_latency", self.mean_latency());
+    }
+}
+
+/// The `MemAccess` event's level payload.
+fn level_code(level: HitLevel) -> u64 {
+    match level {
+        HitLevel::L1 => 1,
+        HitLevel::L2 => 2,
+        HitLevel::Llc => 3,
+        HitLevel::Dram => 4,
     }
 }
 
@@ -121,6 +164,7 @@ impl AccelStats {
 #[derive(Debug, Clone, Copy)]
 struct WalkPos {
     inst: usize,
+    slot: usize,
     t: Cycles,
 }
 
@@ -155,6 +199,8 @@ pub struct QeiAccelerator {
     /// Pending non-blocking completions not yet polled.
     nb_outstanding: Vec<(VirtAddr, Cycles)>,
     stats: AccelStats,
+    /// Query-lifecycle event ring (no-op unless tracing is enabled).
+    trace: EventBuf,
 }
 
 impl QeiAccelerator {
@@ -211,6 +257,7 @@ impl QeiAccelerator {
             nb_drain: Cycles::ZERO,
             nb_outstanding: Vec::new(),
             stats: AccelStats::default(),
+            trace: EventBuf::new(),
         }
     }
 
@@ -257,6 +304,13 @@ impl QeiAccelerator {
         self.nb_drain = Cycles::ZERO;
         self.nb_outstanding.clear();
         self.stats = AccelStats::default();
+        self.trace.clear();
+    }
+
+    /// Takes the buffered trace events (chronological) plus the overwrite
+    /// count, leaving the buffer empty.
+    pub fn drain_trace(&mut self) -> (Vec<Event>, u64) {
+        self.trace.drain()
     }
 
     /// QST occupancy over a window (paper: 50–90% at 10 entries).
@@ -287,10 +341,21 @@ impl QeiAccelerator {
         guest: &mut GuestMem,
         mem: &mut MemoryHierarchy,
     ) -> BlockingOutcome {
+        let qid = self.stats.queries;
+        self.trace
+            .emit(now.as_u64(), TRACK_ISSUE, EventKind::QueryIssue, qid, 1);
         let (done, result) = self.run_one(now, header_addr, key_addr, guest, mem);
         // Result returns to the core through the Result Queue.
         let completion = done + Cycles(self.request_latency(mem, header_addr));
-        self.stats.latency_sum += (completion - now).as_u64();
+        self.stats
+            .record_latency((completion - now).as_u64(), result.is_err());
+        self.trace.emit(
+            completion.as_u64(),
+            TRACK_ISSUE,
+            EventKind::QueryDone,
+            result.err().map_or(0, |c| c.encode() & 0xFF),
+            qid,
+        );
         BlockingOutcome { completion, result }
     }
 
@@ -306,6 +371,9 @@ impl QeiAccelerator {
         guest: &mut GuestMem,
         mem: &mut MemoryHierarchy,
     ) -> Cycles {
+        let qid = self.stats.queries;
+        self.trace
+            .emit(now.as_u64(), TRACK_ISSUE, EventKind::QueryIssue, qid, 0);
         let (done, result) = self.run_one(now, header_addr, key_addr, guest, mem);
         // Write the result (or fault code) to the designated address.
         let wire = match result {
@@ -317,7 +385,7 @@ impl QeiAccelerator {
             let pa = guest.translate(result_addr);
             match pa {
                 Ok(pa) => {
-                    let r = self.data_access(mem, pa, true, done);
+                    let r = self.data_access(mem, pa, true, done).latency;
                     done + r
                 }
                 Err(_) => done,
@@ -325,7 +393,15 @@ impl QeiAccelerator {
         };
         self.nb_drain = self.nb_drain.max(store_done);
         self.nb_outstanding.push((result_addr, store_done));
-        self.stats.latency_sum += (store_done - now).as_u64();
+        self.stats
+            .record_latency((store_done - now).as_u64(), result.is_err());
+        self.trace.emit(
+            store_done.as_u64(),
+            TRACK_ISSUE,
+            EventKind::QueryDone,
+            result.err().map_or(0, |c| c.encode() & 0xFF),
+            qid,
+        );
         // Accept = request enqueued in the Query Queue; backpressure shows up
         // when the QST was full (claim waited), which run_one folded into
         // `done`; approximating accept as enqueue + request flight.
@@ -373,6 +449,7 @@ impl QeiAccelerator {
         guest: &mut GuestMem,
         mem: &mut MemoryHierarchy,
     ) -> (Cycles, Result<u64, FaultCode>) {
+        let qid = self.stats.queries;
         self.stats.queries += 1;
 
         // Functional header fetch to learn the instance placement.
@@ -392,10 +469,20 @@ impl QeiAccelerator {
         // Request flight + QST claim (backpressure if full).
         let arrive = now + Cycles(ENQUEUE_CYCLES + self.request_latency(mem, header_addr));
         let (start, slot) = self.qsts[inst].claim(arrive);
+        let track = qst_track(inst, slot);
+        self.trace
+            .emit(start.as_u64(), track, EventKind::QstClaim, qid, slot as u64);
         let mut t = start;
 
         // Header fetch + parse (one line).
-        t = t + self.mem_op(mem, guest, WalkPos { inst, t }, header_addr, 64, false);
+        t = t + self.mem_op(
+            mem,
+            guest,
+            WalkPos { inst, slot, t },
+            header_addr,
+            64,
+            false,
+        );
         t += Cycles(HEADER_PARSE_CYCLES);
 
         // Key fetch (MEM.K).
@@ -404,13 +491,15 @@ impl QeiAccelerator {
             Err(e) => {
                 self.stats.faults += 1;
                 self.qsts[inst].complete(slot, start, t);
+                self.trace
+                    .emit(t.as_u64(), track, EventKind::QstRelease, qid, slot as u64);
                 return (t, Err(FaultCode::from(e)));
             }
         };
         t = t + self.mem_op(
             mem,
             guest,
-            WalkPos { inst, t },
+            WalkPos { inst, slot, t },
             key_addr,
             header.key_len as u32,
             false,
@@ -421,6 +510,8 @@ impl QeiAccelerator {
             None => {
                 self.stats.faults += 1;
                 self.qsts[inst].complete(slot, start, t);
+                self.trace
+                    .emit(t.as_u64(), track, EventKind::QstRelease, qid, slot as u64);
                 return (t, Err(FaultCode::UnknownType));
             }
         };
@@ -447,8 +538,23 @@ impl QeiAccelerator {
                     if ctx.steps >= STEP_LIMIT {
                         break Err(FaultCode::StepLimit);
                     }
+                    let class = match other {
+                        MicroOp::Read { .. } => 0,
+                        MicroOp::Compare { .. } => 1,
+                        MicroOp::Hash { .. } => 2,
+                        _ => 3,
+                    };
+                    self.trace
+                        .emit(t.as_u64(), track, EventKind::UopIssue, class, qid);
                     // Price the op, then execute it functionally.
-                    t = t + self.price_op(mem, guest, WalkPos { inst, t }, &ctx, other, staged);
+                    t = t + self.price_op(
+                        mem,
+                        guest,
+                        WalkPos { inst, slot, t },
+                        &ctx,
+                        other,
+                        staged,
+                    );
                     if let MicroOp::Read { addr, len } = other {
                         staged = Some((addr.0, addr.0 + len as u64));
                     }
@@ -464,6 +570,8 @@ impl QeiAccelerator {
             self.stats.faults += 1;
         }
         self.qsts[inst].complete(slot, start, t);
+        self.trace
+            .emit(t.as_u64(), track, EventKind::QstRelease, qid, slot as u64);
         (t, result)
     }
 
@@ -566,38 +674,44 @@ impl QeiAccelerator {
         }
     }
 
-    /// A data access (line-granular) from the accelerator's position.
+    /// A data access (line-granular) from the accelerator's position. The
+    /// returned latency folds in the scheme's path (NoC hops, interface
+    /// latency); the level is the cache level that serviced the line.
     fn data_access(
         &mut self,
         mem: &mut MemoryHierarchy,
         pa: qei_mem::PhysAddr,
         write: bool,
         t: Cycles,
-    ) -> Cycles {
+    ) -> AccessResult {
         let now = t.as_u64();
         match self.scheme {
             Scheme::ChaTlb | Scheme::ChaNoTlb => {
                 // Served at the home slice; the instance *is* a CHA. The
                 // instance→home hop is inside access_cha.
                 let home = mem.home_slice(pa);
-                mem.access_cha(home, pa, write, now).latency
+                mem.access_cha(home, pa, write, now)
             }
-            Scheme::CoreIntegrated => {
-                mem.access_l2_read_through(self.core_id, pa, write, now)
-                    .latency
-            }
+            Scheme::CoreIntegrated => mem.access_l2_read_through(self.core_id, pa, write, now),
             Scheme::DeviceDirect => {
                 let dev = mem.noc().device_tile();
                 let home = mem.home_slice(pa);
                 let hop = mem.noc_mut().transfer(dev, Tile(home), 64, now);
-                hop + mem.access_cha(home, pa, write, now).latency
+                let inner = mem.access_cha(home, pa, write, now);
+                AccessResult {
+                    latency: hop + inner.latency,
+                    level: inner.level,
+                }
             }
             Scheme::DeviceIndirect => {
                 let dev = mem.noc().device_tile();
                 let home = mem.home_slice(pa);
                 let hop = mem.noc_mut().transfer(dev, Tile(home), 64, now);
-                hop + mem.access_cha(home, pa, write, now).latency
-                    + Cycles(self.device_data_latency)
+                let inner = mem.access_cha(home, pa, write, now);
+                AccessResult {
+                    latency: hop + inner.latency + Cycles(self.device_data_latency),
+                    level: inner.level,
+                }
             }
         }
     }
@@ -612,7 +726,7 @@ impl QeiAccelerator {
         len: u32,
         write: bool,
     ) -> Cycles {
-        let WalkPos { inst, t } = pos;
+        let WalkPos { inst, slot, t } = pos;
         self.stats.mem_ops += 1;
         let lines = MicroOp::Read { addr, len }.lines_touched().max(1);
         self.stats.lines_fetched += lines as u64;
@@ -626,8 +740,15 @@ impl QeiAccelerator {
             }
         };
         let first = self.data_access(mem, pa, write, t + Cycles(tlb));
+        self.trace.emit(
+            t.as_u64(),
+            qst_track(inst, slot),
+            EventKind::MemAccess,
+            level_code(first.level),
+            lines as u64,
+        );
         // Subsequent lines pipeline behind the first.
-        Cycles(tlb) + first + Cycles((lines as u64 - 1) * EXTRA_LINE_CYCLES)
+        Cycles(tlb) + first.latency + Cycles((lines as u64 - 1) * EXTRA_LINE_CYCLES)
     }
 
     /// A comparison micro-op. `inline` compares run on the staged line in a
@@ -641,7 +762,7 @@ impl QeiAccelerator {
         len: u32,
         inline: bool,
     ) -> Cycles {
-        let WalkPos { inst, t } = pos;
+        let WalkPos { inst, slot: _, t } = pos;
         self.stats.compares += 1;
         self.stats.compare_bytes += len as u64;
         if inline {
@@ -686,7 +807,7 @@ impl QeiAccelerator {
             (after_tlb + data + queue + Cycles(cmp_cycles) + travel) - t
         } else {
             // Device: fetch the line to the device, compare locally.
-            let data = self.data_access(mem, pa, false, after_tlb);
+            let data = self.data_access(mem, pa, false, after_tlb).latency;
             let queue = self.comparator_queue(0, cmp_cycles, after_tlb + data);
             (after_tlb + data + queue + Cycles(cmp_cycles)) - t
         }
@@ -990,5 +1111,65 @@ mod tests {
         assert!(s.tlb_lookups > 0);
         assert!(s.mean_latency() > 0.0);
         assert_eq!(s.faults, 0);
+        assert_eq!(s.latency_hist.count(), 10);
+        assert_eq!(s.fault_latency_hist.count(), 0);
+        assert_eq!(s.fault_latency_sum, 0);
+        assert!(s.latency_hist.p50() <= s.latency_hist.p99());
+    }
+
+    #[test]
+    fn injected_faults_fill_only_the_fault_histogram() {
+        let config = MachineConfig::skylake_sp_24();
+        let mut guest = GuestMem::new(43);
+        let mut hier = MemoryHierarchy::new(&config);
+        let mut accel = QeiAccelerator::new(&config, Scheme::ChaTlb, 0);
+        let ha = build_list(&mut guest, 8);
+        for i in 0..5u64 {
+            let ka = key_at(&mut guest, i);
+            accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+        }
+        let before = accel.stats();
+        assert_eq!(before.faults, 0);
+
+        // A header whose data pointer walks into unmapped memory: the
+        // firmware's first node read page-faults.
+        let bad = Header {
+            ds_ptr: VirtAddr(0xbad0_0000),
+            dtype: DsType::LinkedList,
+            subtype: 0,
+            key_len: 8,
+            flags: 0,
+            capacity: 0,
+            aux0: 0,
+            aux1: 0,
+            aux2: 0,
+        };
+        let bha = guest.alloc(HEADER_BYTES, 64).unwrap();
+        bad.write_to(&mut guest, bha).unwrap();
+        for i in 0..3u64 {
+            let ka = key_at(&mut guest, i);
+            let out = accel.submit_blocking(Cycles(0), bha, ka, &mut guest, &mut hier);
+            assert!(out.result.is_err());
+        }
+
+        let after = accel.stats();
+        assert_eq!(after.faults, 3);
+        // Faults land in the fault histogram; the success histogram and its
+        // mean are untouched.
+        assert_eq!(after.fault_latency_hist.count(), 3);
+        assert!(after.fault_latency_sum > 0);
+        assert_eq!(after.latency_hist, before.latency_hist);
+        assert_eq!(after.latency_sum, before.latency_sum);
+        assert_eq!(after.mean_latency(), before.mean_latency());
+
+        // The registry gains the per-outcome keys.
+        let mut reg = qei_config::StatsRegistry::new();
+        after.export_stats(&mut reg);
+        assert!(reg.count("accel", "fault_latency_sum") > 0);
+        assert!(reg.count("accel", "latency_p99") >= reg.count("accel", "latency_p50"));
+        assert!(matches!(
+            reg.get("accel", "fault_latency_hist"),
+            Some(qei_config::StatValue::Hist(b)) if !b.is_empty()
+        ));
     }
 }

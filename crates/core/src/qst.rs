@@ -27,7 +27,7 @@ impl QstStats {
     /// Mean occupancy over `window` cycles for a table with `entries` slots,
     /// in `[0, 1]` (the paper reports 50–90% at 10 entries).
     pub fn occupancy(&self, entries: u32, window: Cycles) -> f64 {
-        if window.as_u64() == 0 {
+        if entries == 0 || window.as_u64() == 0 {
             return 0.0;
         }
         self.busy_slot_cycles as f64 / (entries as u64 * window.as_u64()) as f64
@@ -205,5 +205,18 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_rejected() {
         let _ = QueryStateTable::new(0);
+    }
+
+    #[test]
+    fn occupancy_degenerate_inputs_yield_zero() {
+        let stats = QstStats {
+            busy_slot_cycles: 500,
+            ..QstStats::default()
+        };
+        // Zero-width window or zero-entry table: 0.0, never NaN/inf.
+        assert_eq!(stats.occupancy(10, Cycles(0)), 0.0);
+        assert_eq!(stats.occupancy(0, Cycles(100)), 0.0);
+        assert_eq!(stats.occupancy(0, Cycles(0)), 0.0);
+        assert!(stats.occupancy(10, Cycles(100)).is_finite());
     }
 }

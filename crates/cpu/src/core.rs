@@ -13,6 +13,7 @@ use crate::predict::BranchPredictor;
 use crate::trace::{Trace, Uop};
 use qei_config::{Cycles, MachineConfig};
 use qei_mem::{Tlb, VirtAddr};
+use qei_trace::{Event, EventBuf, EventKind};
 
 /// Where dispatch stall cycles were spent (the top-down attribution that
 /// backs the paper's Fig. 1 discussion).
@@ -129,6 +130,8 @@ pub struct CoreModel {
     dtlb: Tlb,
     stlb: Tlb,
     predictor: BranchPredictor,
+    /// Dispatch-stall event ring (no-op unless tracing is enabled).
+    trace: EventBuf,
 }
 
 impl CoreModel {
@@ -141,12 +144,19 @@ impl CoreModel {
             dtlb: Tlb::new(config.l1_dtlb),
             stlb: Tlb::new(config.l2_tlb),
             predictor: BranchPredictor::default(),
+            trace: EventBuf::new(),
         }
     }
 
     /// The core's tile/id.
     pub fn core_id(&self) -> u32 {
         self.core_id
+    }
+
+    /// Takes the buffered stall events plus the overwrite count, leaving the
+    /// buffer empty.
+    pub fn drain_trace(&mut self) -> (Vec<Event>, u64) {
+        self.trace.drain()
     }
 
     /// Shared-TLB probe hook used by the Core-integrated accelerator scheme:
@@ -201,6 +211,13 @@ impl CoreModel {
             if dispatch > cycle {
                 // Frontend was refilling: those were frontend-lost slots.
                 result.stalls.frontend += (dispatch - cycle) as f64;
+                self.trace.emit(
+                    cycle,
+                    self.core_id,
+                    EventKind::CpuStall,
+                    0,
+                    dispatch - cycle,
+                );
                 cycle = dispatch;
                 slots_this_cycle = 0;
             }
@@ -212,11 +229,15 @@ impl CoreModel {
                     let wait = need - dispatch;
                     // Attribute by what the blocking (oldest) uop was.
                     let oldest = &uops[i - rob];
-                    if oldest.uses_lq() || oldest.uses_sq() {
+                    let kind = if oldest.uses_lq() || oldest.uses_sq() {
                         result.stalls.backend_memory += wait as f64;
+                        1
                     } else {
                         result.stalls.backend_core += wait as f64;
-                    }
+                        2
+                    };
+                    self.trace
+                        .emit(dispatch, self.core_id, EventKind::CpuStall, kind, wait);
                     dispatch = need;
                     cycle = need;
                     slots_this_cycle = 0;
@@ -229,6 +250,13 @@ impl CoreModel {
                     let need = lq_ring[lq_count % lq];
                     if need > dispatch {
                         result.stalls.backend_memory += (need - dispatch) as f64;
+                        self.trace.emit(
+                            dispatch,
+                            self.core_id,
+                            EventKind::CpuStall,
+                            1,
+                            need - dispatch,
+                        );
                         dispatch = need;
                         cycle = need;
                         slots_this_cycle = 0;
@@ -238,6 +266,13 @@ impl CoreModel {
                 let need = sq_ring[sq_count % sq];
                 if need > dispatch {
                     result.stalls.backend_memory += (need - dispatch) as f64;
+                    self.trace.emit(
+                        dispatch,
+                        self.core_id,
+                        EventKind::CpuStall,
+                        1,
+                        need - dispatch,
+                    );
                     dispatch = need;
                     cycle = need;
                     slots_this_cycle = 0;

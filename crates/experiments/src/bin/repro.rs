@@ -9,8 +9,14 @@
 //! repro --serial all   # run every plan on one thread
 //! repro --jobs 4 all   # cap the plan-execution workers at 4
 //! repro --profile fig7 # print per-phase wall time per plan to stderr
+//! repro --trace t.json smoke  # also write a Chrome trace-event JSON
 //! repro --verify       # model-check every installed firmware CFA
 //! ```
+//!
+//! `--trace <path>` enables the deterministic event layer for the whole
+//! invocation and writes one Chrome `traceEvents` JSON (load it in
+//! `chrome://tracing` or Perfetto) covering every plan that ran. The file
+//! depends only on the plans, never on thread count or wall-clock time.
 //!
 //! `--verify` runs the `qei-verify` static checker over the seven built-in
 //! data-structure CFAs plus the loadable B+-tree, prints the JSON report to
@@ -18,14 +24,14 @@
 //! nonzero if any program fails a check. It takes no experiment argument.
 
 use qei_experiments::{
-    ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, suite, tab1, tab2, tab3,
+    ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, smoke, suite, tab1, tab2, tab3,
 };
 use qei_experiments::{Scale, SuiteData};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile] [--serial | --jobs N] <experiment|all>\n       repro --verify\n  experiments: {}",
+        "usage: repro [--quick] [--profile] [--trace FILE] [--serial | --jobs N] <experiment|all>\n       repro --verify\n  experiments: {}",
         qei_experiments::ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -89,6 +95,15 @@ fn main() {
         let jobs: usize = args[pos + 1].parse().unwrap_or_else(|_| usage());
         args.drain(pos..=pos + 1);
         qei_sim::engine::set_default_threads(jobs);
+    }
+    let mut trace_out: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        trace_out = Some(args[pos + 1].clone());
+        args.drain(pos..=pos + 1);
+        qei_trace::set_tracing(true);
     }
     if args.len() != 1 {
         usage();
@@ -173,9 +188,23 @@ fn main() {
         eprintln!("[repro] ablation sweeps ...");
         emit(ablations::render());
     }
+    if what == "all" || what == "smoke" {
+        emit(smoke::render(scale));
+    }
 
     if !ran {
         usage();
+    }
+    if let Some(path) = trace_out {
+        let traces = qei_trace::drain_collected();
+        let json = qei_trace::export_chrome(&traces);
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("[repro] wrote {} run trace(s) to {path}", traces.len()),
+            Err(e) => {
+                eprintln!("[repro] cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
 }

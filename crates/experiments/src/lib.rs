@@ -18,6 +18,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod render;
+pub mod smoke;
 pub mod suite;
 pub mod tab1;
 pub mod tab2;
@@ -26,7 +27,7 @@ pub mod tab3;
 pub use suite::{BenchResult, Scale, SuiteData};
 
 /// All experiment identifiers, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
+pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig1",
     "tab1",
     "tab2",
@@ -39,4 +40,5 @@ pub const ALL_EXPERIMENTS: [&str; 12] = [
     "tab3",
     "occupancy",
     "ablations",
+    "smoke",
 ];

@@ -1,0 +1,98 @@
+//! `smoke` — a deliberately tiny observability exercise: one workload,
+//! software baseline plus two QEI schemes, with the per-query latency
+//! percentiles read back out of the [`qei_sim::RunReport`] stats registry.
+//!
+//! This is the experiment the CI trace-smoke step drives under
+//! `repro --trace`: it is small enough to finish in well under a second at
+//! quick scale yet touches every traced subsystem (core, caches, NoC,
+//! accelerator QST), so the exported Chrome trace covers all event kinds.
+
+use crate::render;
+use crate::suite::{engine, Scale};
+use qei_config::Scheme;
+use qei_sim::{RunPlan, RunReport, WorkloadKind, WorkloadSpec};
+
+/// The fixed workload the smoke run measures.
+pub fn spec(scale: Scale) -> WorkloadSpec {
+    let (objects, queries) = match scale {
+        Scale::Quick => (2_000, 64),
+        Scale::Paper => (20_000, 256),
+    };
+    WorkloadSpec::new(0xE1, 17, WorkloadKind::JvmGc { objects, queries })
+}
+
+/// The smoke plan list: baseline plus two contrasting schemes.
+pub fn plans(scale: Scale) -> Vec<RunPlan> {
+    let spec = spec(scale);
+    vec![
+        RunPlan::baseline(spec),
+        RunPlan::qei(spec, Scheme::CoreIntegrated),
+        RunPlan::qei(spec, Scheme::ChaTlb),
+    ]
+}
+
+/// One `accel.<name>` stat as a cell, `-` when the run has no accelerator.
+fn stat_cell(report: &RunReport, name: &str) -> String {
+    match report.stats.get("accel", name).and_then(|v| v.as_u64()) {
+        Some(v) => v.to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+/// Runs the smoke plans and renders cycle counts plus query-latency
+/// percentiles per plan.
+pub fn render(scale: Scale) -> String {
+    let plans = plans(scale);
+    let reports = engine().run_all(&plans);
+    let body: Vec<Vec<String>> = plans
+        .iter()
+        .zip(&reports)
+        .map(|(plan, r)| {
+            vec![
+                r.workload.to_owned(),
+                match plan.scheme {
+                    Some(scheme) => format!("{}/{scheme}", r.mode),
+                    None => r.mode.to_string(),
+                },
+                r.cycles.to_string(),
+                stat_cell(r, "latency_p50"),
+                stat_cell(r, "latency_p90"),
+                stat_cell(r, "latency_p99"),
+                stat_cell(r, "latency_max"),
+            ]
+        })
+        .collect();
+    render::table(
+        "Smoke — per-query latency percentiles from the RunReport stats registry (cycles)",
+        &["workload", "plan", "cycles", "p50", "p90", "p99", "max"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_reports_percentiles_for_qei_plans() {
+        let reports = engine().run_all(&plans(Scale::Quick));
+        assert_eq!(reports.len(), 3);
+        // The baseline has no accelerator group.
+        assert!(reports[0].stats.get("accel", "latency_p50").is_none());
+        for r in &reports[1..] {
+            let p50 = r.stats.count("accel", "latency_p50");
+            let p99 = r.stats.count("accel", "latency_p99");
+            let max = r.stats.count("accel", "latency_max");
+            assert!(p50 > 0, "{}: missing p50", r.workload);
+            assert!(p50 <= p99, "{}: p50 {p50} > p99 {p99}", r.workload);
+            // p99 is a bucket upper bound, so it can sit up to one power of
+            // two above the true max.
+            assert!(p99 < max.next_power_of_two().max(1) * 2);
+        }
+    }
+
+    #[test]
+    fn smoke_rendering_is_deterministic() {
+        assert_eq!(render(Scale::Quick), render(Scale::Quick));
+    }
+}

@@ -17,6 +17,7 @@
 //! ```
 
 use qei_config::{Cycles, MachineConfig};
+use qei_trace::{Event, EventBuf, EventKind, TRACK_NOC};
 
 /// Identifier of a mesh tile. Tiles `0..cores` are core tiles; the optional
 /// device tile (for Device-based schemes) is tile `cores`.
@@ -60,6 +61,8 @@ pub struct Mesh {
     link_bytes_per_cycle: f64,
     link_bytes: Vec<u64>,
     stats: NocStats,
+    /// Hop event ring (no-op unless tracing is enabled).
+    trace: EventBuf,
 }
 
 impl Mesh {
@@ -79,6 +82,7 @@ impl Mesh {
             link_bytes_per_cycle: config.noc_link_bytes_per_cycle,
             link_bytes: vec![0; links],
             stats: NocStats::default(),
+            trace: EventBuf::new(),
         }
     }
 
@@ -126,6 +130,8 @@ impl Mesh {
         self.stats.bytes += bytes;
         let hops = self.hops(a, b) as u64;
         self.stats.hops += hops;
+        self.trace
+            .emit(now_cycles, TRACK_NOC, EventKind::NocHop, hops, bytes);
         if a == b {
             return Cycles::ZERO;
         }
@@ -190,6 +196,13 @@ impl Mesh {
     pub fn reset_traffic(&mut self) {
         self.link_bytes.fill(0);
         self.stats = NocStats::default();
+        self.trace.clear();
+    }
+
+    /// Takes the buffered hop events plus the overwrite count, leaving the
+    /// buffer empty.
+    pub fn drain_trace(&mut self) -> (Vec<Event>, u64) {
+        self.trace.drain()
     }
 
     /// Dense id of the directed link leaving `(x, y)` one step in `(dx, dy)`.

@@ -72,6 +72,16 @@ impl<'a> QeiBus<'a> {
         self.reset_results();
     }
 
+    /// Takes every buffered trace event on the machine side (accelerator,
+    /// caches, NoC) plus the combined overwrite count.
+    pub fn drain_trace(&mut self) -> (Vec<qei_trace::Event>, u64) {
+        let (mut events, mut dropped) = self.accel.drain_trace();
+        let (mem_events, mem_dropped) = self.mem.drain_trace();
+        events.extend(mem_events);
+        dropped += mem_dropped;
+        (events, dropped)
+    }
+
     /// Checks recorded results against the expected values. For blocking
     /// runs the returned results are compared directly; for non-blocking
     /// runs the result buffer is read back (`0 → 1` completion-flag encoding

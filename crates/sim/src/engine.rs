@@ -364,6 +364,26 @@ impl RunPlan {
         self.overrides.accel_tlb_entries = Some(entries);
         self
     }
+
+    /// A short deterministic tag naming this plan's seeds and overrides —
+    /// used to label the plan's [`qei_trace::RunTrace`] so sweep plans that
+    /// share a workload stay distinguishable in a Chrome export.
+    pub fn tag(&self) -> String {
+        let mut tag = format!("g{}b{}", self.workload.guest_seed, self.workload.build_seed);
+        if let Some(v) = self.overrides.device_data_latency {
+            tag.push_str(&format!("+dl{v}"));
+        }
+        if let Some(v) = self.overrides.qst_entries {
+            tag.push_str(&format!("+qst{v}"));
+        }
+        if let Some(v) = self.overrides.comparators_per_cha {
+            tag.push_str(&format!("+cmp{v}"));
+        }
+        if let Some(v) = self.overrides.accel_tlb_entries {
+            tag.push_str(&format!("+tlb{v}"));
+        }
+        tag
+    }
 }
 
 /// Executes [`RunPlan`]s against a base machine configuration.
@@ -415,7 +435,14 @@ impl Engine {
         plan.overrides.apply(&mut config);
         let (mut sys, workload) = plan.workload.build(&config);
         let build = started.elapsed();
-        Self::execute(&mut sys, workload.as_ref(), plan.mode, plan.scheme, build)
+        Self::execute(
+            &mut sys,
+            workload.as_ref(),
+            plan.mode,
+            plan.scheme,
+            build,
+            &plan.tag(),
+        )
     }
 
     /// Runs independent plans in parallel (scoped threads, work-stealing by
@@ -466,7 +493,14 @@ impl Engine {
             plan.overrides.apply(&mut config);
             let mut sys = System::from_parts(config, guest);
             let build = started.elapsed();
-            Self::execute(&mut sys, workload.as_ref(), plan.mode, plan.scheme, build)
+            Self::execute(
+                &mut sys,
+                workload.as_ref(),
+                plan.mode,
+                plan.scheme,
+                build,
+                &plan.tag(),
+            )
         };
 
         if workers <= 1 {
@@ -566,7 +600,7 @@ impl Engine {
         mode: RunMode,
         scheme: Option<Scheme>,
     ) -> RunReport {
-        Self::execute(sys, workload, mode, scheme, Duration::ZERO)
+        Self::execute(sys, workload, mode, scheme, Duration::ZERO, "adhoc")
     }
 
     fn execute(
@@ -575,24 +609,50 @@ impl Engine {
         mode: RunMode,
         scheme: Option<Scheme>,
         build: Duration,
+        tag: &str,
     ) -> RunReport {
         match mode {
-            RunMode::Baseline => Self::execute_baseline(sys, workload, build),
+            RunMode::Baseline => Self::execute_baseline(sys, workload, build, tag),
             RunMode::QeiBlocking | RunMode::LocalCompareAblation => {
                 let Some(scheme) = scheme else {
                     panic!("QEI modes require a scheme")
                 };
                 let trace = build_qei_trace_blocking(workload);
-                Self::execute_qei(sys, workload, mode, scheme, trace, build)
+                Self::execute_qei(sys, workload, mode, scheme, trace, build, tag)
             }
             RunMode::QeiNonblocking { batch } => {
                 let Some(scheme) = scheme else {
                     panic!("QEI modes require a scheme")
                 };
                 let trace = build_qei_trace_nonblocking(workload, batch);
-                Self::execute_qei(sys, workload, mode, scheme, trace, build)
+                Self::execute_qei(sys, workload, mode, scheme, trace, build, tag)
             }
         }
+    }
+
+    /// Gathers one run's buffered events into the process-wide trace
+    /// collector under a deterministic plan label, and prints a one-line
+    /// `[trace]` summary when profiling. No-op while tracing is disabled.
+    fn collect_trace(plan: String, sources: Vec<(Vec<qei_trace::Event>, u64)>) {
+        if !qei_trace::tracing_enabled() {
+            return;
+        }
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for (src_events, src_dropped) in sources {
+            events.extend(src_events);
+            dropped += src_dropped;
+        }
+        events.sort_unstable();
+        let trace = qei_trace::RunTrace {
+            plan,
+            events,
+            dropped,
+        };
+        if profiling() {
+            eprintln!("[trace] {}", qei_trace::summarize(&trace));
+        }
+        qei_trace::collect(trace);
     }
 
     /// Prints one per-run phase-timing line when profiling is enabled.
@@ -616,7 +676,12 @@ impl Engine {
         );
     }
 
-    fn execute_baseline(sys: &mut System, workload: &dyn Workload, build: Duration) -> RunReport {
+    fn execute_baseline(
+        sys: &mut System,
+        workload: &dyn Workload,
+        build: Duration,
+        tag: &str,
+    ) -> RunReport {
         let phase = Instant::now();
         let mut trace = Trace::new();
         let results = workload.baseline_trace(sys.guest(), &mut trace);
@@ -631,6 +696,9 @@ impl Engine {
         let mut core = CoreModel::new(sys.config(), sys.core_id());
         // Warm-up pass: caches, TLBs, branch predictor reach steady state.
         let _ = core.run(&trace, &mut bus);
+        // Warm-up events are not part of the measured epoch.
+        let _ = core.drain_trace();
+        let _ = bus.mem.drain_trace();
         let warmup = phase.elapsed();
         let phase = Instant::now();
         bus.mem.reset_epoch();
@@ -638,6 +706,10 @@ impl Engine {
         let measured = phase.elapsed();
 
         let phase = Instant::now();
+        Self::collect_trace(
+            format!("{}/baseline/sw/{tag}", workload.name()),
+            vec![core.drain_trace(), bus.mem.drain_trace()],
+        );
         let report = RunReport::from_software(workload, run, bus.mem.stats());
         Self::emit_profile(&report, build, warmup, measured, phase.elapsed());
         report
@@ -650,6 +722,7 @@ impl Engine {
         scheme: Scheme,
         trace: Trace,
         build: Duration,
+        tag: &str,
     ) -> RunReport {
         // Result buffer for non-blocking queries: one u64 per job.
         let phase = Instant::now();
@@ -674,6 +747,9 @@ impl Engine {
         // Warm-up pass then measured pass over the *same* bus, so caches,
         // accelerator TLBs, and the predictor are in steady state.
         let _ = core.run(&trace, &mut bus);
+        // Warm-up events are not part of the measured epoch.
+        let _ = core.drain_trace();
+        let _ = bus.drain_trace();
         let warmup = phase.elapsed();
         let phase = Instant::now();
         bus.begin_epoch();
@@ -689,6 +765,10 @@ impl Engine {
             scheme
         );
         let phase = Instant::now();
+        Self::collect_trace(
+            format!("{}/{mode}/{scheme}/{tag}", workload.name()),
+            vec![core.drain_trace(), bus.drain_trace()],
+        );
         let occupancy = bus.accel().qst_occupancy(Cycles(run.cycles.max(1)));
         let report = RunReport::from_qei(
             workload,

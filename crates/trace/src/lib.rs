@@ -1,0 +1,506 @@
+//! Deterministic, cycle-stamped structured event tracing.
+//!
+//! Every timing component (accelerator, cache hierarchy, NoC, core model)
+//! owns an [`EventBuf`] and emits [`Event`]s into it on its hot paths. The
+//! design obeys the workspace's determinism contract:
+//!
+//! * **Zero cost when disabled.** Tracing is off by default; each buffer
+//!   samples the process-wide flag once at construction, so the disabled
+//!   path is a single predictable branch and no allocation ever happens.
+//!   With tracing off, reports are byte-identical to a build without any
+//!   instrumentation.
+//! * **Simulated time only.** Events carry the simulation cycle they
+//!   describe — never host wall-clock time (the `wall-clock` xtask lint
+//!   covers this crate).
+//! * **All-integer state.** Payloads are `u64` pairs; histograms and floats
+//!   live elsewhere (the `float-stats` lint covers this crate too).
+//! * **Thread-count independence.** Emission order inside one run is
+//!   deterministic because each run owns its buffers; across runs, the
+//!   exporter sorts [`RunTrace`]s by plan label and events by cycle, so the
+//!   Chrome JSON is byte-identical whether plans executed serially or in
+//!   parallel.
+//!
+//! The export target is the Chrome trace-event JSON format (`chrome://
+//! tracing`, Perfetto): one process per plan, one track (`tid`) per
+//! core/QST entry, cycle timestamps rendered as integer microseconds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Default ring capacity per component buffer when tracing is enabled.
+/// Small plans fit entirely; larger plans overwrite the oldest events and
+/// count the overflow in [`EventBuf::drain`]'s `dropped` figure.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Track id carrying cache miss/evict events (core tracks are `0..cores`).
+pub const TRACK_CACHE: u32 = 64;
+/// Track id carrying NoC hop events.
+pub const TRACK_NOC: u32 = 65;
+/// Track id carrying query issue/completion events (the submit port).
+pub const TRACK_ISSUE: u32 = 66;
+
+/// Track id of one QST entry: instance-major, 256 slots reserved per
+/// instance (the largest evaluated QST — the Device schemes' `10 × cores`
+/// table — has 240 entries).
+pub fn qst_track(inst: usize, slot: usize) -> u32 {
+    128 + (inst as u32) * 256 + slot as u32
+}
+
+/// What happened. Variant order is part of the deterministic sort key for
+/// events sharing a cycle and track, so `QstClaim` (span begin) sorts before
+/// `QstRelease` (span end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A `QUERY_B`/`QUERY_NB` left the core (`a` = query seq, `b` = 1 if
+    /// blocking).
+    QueryIssue,
+    /// A QST slot was allocated (`a` = query seq, `b` = slot index).
+    QstClaim,
+    /// The QST slot was released at completion (`a` = query seq, `b` = slot).
+    QstRelease,
+    /// The CEE issued a micro-op to a DPU (`a` = op class: 0 read,
+    /// 1 compare, 2 hash, 3 alu).
+    UopIssue,
+    /// A memory micro-op was serviced (`a` = level: 1 L1, 2 L2, 3 LLC,
+    /// 4 DRAM; `b` = lines fetched).
+    MemAccess,
+    /// A query completed (`a` = fault code, 0 for success; `b` = query seq).
+    QueryDone,
+    /// A cache level missed (`a` = level, `b` = line address).
+    CacheMiss,
+    /// A cache level evicted a dirty line (`a` = level, `b` = victim line).
+    CacheEvict,
+    /// A NoC message was routed (`a` = hop count, `b` = bytes).
+    NocHop,
+    /// The core's dispatch stalled (`a` = 0 frontend, 1 backend-memory,
+    /// 2 backend-core; `b` = stall cycles).
+    CpuStall,
+}
+
+impl EventKind {
+    /// All kinds, in sort order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::QueryIssue,
+        EventKind::QstClaim,
+        EventKind::QstRelease,
+        EventKind::UopIssue,
+        EventKind::MemAccess,
+        EventKind::QueryDone,
+        EventKind::CacheMiss,
+        EventKind::CacheEvict,
+        EventKind::NocHop,
+        EventKind::CpuStall,
+    ];
+
+    /// Stable short name (the Chrome event `name` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::QueryIssue => "query_issue",
+            EventKind::QstClaim => "qst",
+            EventKind::QstRelease => "qst",
+            EventKind::UopIssue => "uop",
+            EventKind::MemAccess => "mem_access",
+            EventKind::QueryDone => "query_done",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::NocHop => "noc_hop",
+            EventKind::CpuStall => "cpu_stall",
+        }
+    }
+
+    /// Dense index into [`EventKind::ALL`] (for per-kind counters).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One structured trace event. `Ord` is derived with `cycle` first, so
+/// sorting a batch yields chronological order with a deterministic
+/// tie-break (track, kind, payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// Simulation cycle the event describes.
+    pub cycle: u64,
+    /// Display track (core id, QST entry, or one of the `TRACK_*` ids).
+    pub track: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (meaning depends on `kind`).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// A preallocated ring buffer of events owned by one timing component.
+///
+/// The buffer samples the global tracing flag at construction: a disabled
+/// buffer never allocates and [`EventBuf::emit`] is one branch. An enabled
+/// buffer holds at most its capacity; older events are overwritten and
+/// counted as dropped.
+#[derive(Debug, Default)]
+pub struct EventBuf {
+    enabled: bool,
+    events: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventBuf {
+    /// A buffer honouring the current global tracing flag at the default
+    /// capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A buffer honouring the current global tracing flag, ring-limited to
+    /// `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        let enabled = tracing_enabled() && cap > 0;
+        EventBuf {
+            enabled,
+            events: if enabled {
+                Vec::with_capacity(cap)
+            } else {
+                Vec::new()
+            },
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether this buffer records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled; overwrites the oldest event
+    /// when the ring is full).
+    #[inline]
+    pub fn emit(&mut self, cycle: u64, track: u32, kind: EventKind, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        let e = Event {
+            cycle,
+            track,
+            kind,
+            a,
+            b,
+        };
+        if self.events.len() < self.cap {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Discards all buffered events (used at measurement-epoch boundaries so
+    /// warm-up events never leak into the measured trace).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+
+    /// Takes the buffered events in emission order plus the overwrite count,
+    /// leaving the buffer empty.
+    pub fn drain(&mut self) -> (Vec<Event>, u64) {
+        let dropped = self.dropped;
+        let head = self.head;
+        let mut events = std::mem::take(&mut self.events);
+        // A wrapped ring holds the oldest events at `head`; rotate them to
+        // the front so the returned order is emission order.
+        events.rotate_left(head);
+        self.head = 0;
+        self.dropped = 0;
+        if self.enabled {
+            self.events.reserve(self.cap);
+        }
+        (events, dropped)
+    }
+}
+
+/// Process-wide tracing flag, sampled by [`EventBuf::with_capacity`].
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables tracing for components constructed *after* this call.
+pub fn set_tracing(enabled: bool) {
+    TRACING.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether tracing is currently enabled.
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::SeqCst)
+}
+
+/// The measured-pass events of one run, labelled by its plan.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RunTrace {
+    /// Deterministic plan label (workload/mode/scheme/seeds) — the sort key
+    /// that makes the export independent of run completion order.
+    pub plan: String,
+    /// Events sorted by `(cycle, track, kind, payload)`.
+    pub events: Vec<Event>,
+    /// Events lost to ring overwrites across the run's buffers.
+    pub dropped: u64,
+}
+
+/// Completed run traces awaiting export, in arbitrary completion order.
+static COLLECTED: Mutex<Vec<RunTrace>> = Mutex::new(Vec::new());
+
+fn collected() -> std::sync::MutexGuard<'static, Vec<RunTrace>> {
+    COLLECTED.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deposits one finished run's trace for a later [`drain_collected`].
+pub fn collect(trace: RunTrace) {
+    collected().push(trace);
+}
+
+/// Takes every collected run trace (e.g. after a `repro --trace` sweep).
+pub fn drain_collected() -> Vec<RunTrace> {
+    std::mem::take(&mut *collected())
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders run traces as Chrome trace-event JSON (the `chrome://tracing` /
+/// Perfetto format): one process (`pid`) per plan, one track (`tid`) per
+/// core/QST entry, QST occupancy as `B`/`E` duration spans and everything
+/// else as instant events. Cycle stamps become integer `ts` microseconds
+/// (1 cycle = 1 µs of display time), so the output contains no floats.
+///
+/// The rendering is a pure function of the trace *set*: traces are sorted
+/// by plan label (then content) and every event batch is re-sorted, so the
+/// same plans produce byte-identical JSON regardless of the thread count or
+/// completion order that produced them.
+pub fn export_chrome(traces: &[RunTrace]) -> String {
+    let mut ordered: Vec<&RunTrace> = traces.iter().collect();
+    ordered.sort();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: &str, first: &mut bool, out: &mut String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(s);
+        out.push('\n');
+    };
+    out.push('\n');
+    for (pid, trace) in ordered.iter().enumerate() {
+        let mut meta = String::from("{\"args\":{\"name\":");
+        json_escape(&trace.plan, &mut meta);
+        meta.push_str(&format!(
+            "}},\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0}}"
+        ));
+        push(&meta, &mut first, &mut out);
+        let mut events = trace.events.clone();
+        events.sort();
+        for e in &events {
+            let ph = match e.kind {
+                EventKind::QstClaim => "B",
+                EventKind::QstRelease => "E",
+                _ => "i",
+            };
+            let mut line = format!(
+                "{{\"args\":{{\"a\":{},\"b\":{}}},\"name\":\"{}\",\"ph\":\"{ph}\",\"pid\":{pid}",
+                e.a,
+                e.b,
+                e.kind.label()
+            );
+            if ph == "i" {
+                line.push_str(",\"s\":\"t\"");
+            }
+            line.push_str(&format!(",\"tid\":{},\"ts\":{}}}", e.track, e.cycle));
+            push(&line, &mut first, &mut out);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// One line summarising a run trace (event counts by kind) for the
+/// `--profile` text output.
+pub fn summarize(trace: &RunTrace) -> String {
+    let mut counts = [0u64; EventKind::ALL.len()];
+    for e in &trace.events {
+        counts[e.kind.index()] += 1;
+    }
+    let mut parts = Vec::new();
+    for kind in EventKind::ALL {
+        let c = counts[kind.index()];
+        if c > 0 {
+            parts.push(format!("{}={c}", kind.label()));
+        }
+    }
+    // `qst` covers both claim and release; label the pair once.
+    parts.dedup_by(|a, b| {
+        if let (Some(ka), Some(kb)) = (a.split('=').next(), b.split('=').next()) {
+            ka == kb
+        } else {
+            false
+        }
+    });
+    format!(
+        "{}: {} events ({}), {} dropped",
+        trace.plan,
+        trace.events.len(),
+        parts.join(" "),
+        trace.dropped
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, track: u32, kind: EventKind) -> Event {
+        Event {
+            cycle,
+            track,
+            kind,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        set_tracing(false);
+        let mut buf = EventBuf::new();
+        assert!(!buf.enabled());
+        buf.emit(1, 0, EventKind::NocHop, 2, 3);
+        let (events, dropped) = buf.drain();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        set_tracing(true);
+        let mut buf = EventBuf::with_capacity(4);
+        for i in 0..7u64 {
+            buf.emit(i, 0, EventKind::NocHop, i, 0);
+        }
+        let (events, dropped) = buf.drain();
+        set_tracing(false);
+        assert_eq!(dropped, 3);
+        let cycles: Vec<u64> = events.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4, 5, 6], "oldest events overwritten");
+        // The buffer is reusable after drain.
+        assert_eq!(buf.drain().0.len(), 0);
+    }
+
+    #[test]
+    fn clear_discards_without_counting() {
+        set_tracing(true);
+        let mut buf = EventBuf::with_capacity(8);
+        buf.emit(1, 0, EventKind::CacheMiss, 1, 2);
+        buf.clear();
+        let (events, dropped) = buf.drain();
+        set_tracing(false);
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn event_sort_is_cycle_major_with_claim_before_release() {
+        let mut events = [
+            ev(5, 1, EventKind::QstRelease),
+            ev(5, 1, EventKind::QstClaim),
+            ev(2, 9, EventKind::NocHop),
+        ];
+        events.sort();
+        assert_eq!(events[0].cycle, 2);
+        assert_eq!(events[1].kind, EventKind::QstClaim);
+        assert_eq!(events[2].kind, EventKind::QstRelease);
+    }
+
+    #[test]
+    fn qst_tracks_are_disjoint_per_instance_and_slot() {
+        assert_eq!(qst_track(0, 0), 128);
+        assert_ne!(qst_track(0, 255), qst_track(1, 0));
+        assert!(qst_track(23, 239) > TRACK_ISSUE);
+    }
+
+    #[test]
+    fn export_is_order_independent_and_parses_shape() {
+        let a = RunTrace {
+            plan: "JVM/qei-blocking/CHA-TLB/g1b2".into(),
+            events: vec![
+                ev(10, qst_track(0, 0), EventKind::QstClaim),
+                ev(90, qst_track(0, 0), EventKind::QstRelease),
+                ev(12, TRACK_NOC, EventKind::NocHop),
+            ],
+            dropped: 0,
+        };
+        let b = RunTrace {
+            plan: "DPDK/baseline/sw/g1b2".into(),
+            events: vec![ev(3, 0, EventKind::CpuStall)],
+            dropped: 1,
+        };
+        let fwd = export_chrome(&[a.clone(), b.clone()]);
+        let rev = export_chrome(&[b, a]);
+        assert_eq!(fwd, rev, "export must not depend on completion order");
+        assert!(fwd.starts_with("{\"traceEvents\":["));
+        assert!(fwd.trim_end().ends_with("}"));
+        assert!(fwd.contains("\"ph\":\"B\"") && fwd.contains("\"ph\":\"E\""));
+        assert!(fwd.contains("\"process_name\""));
+        assert!(!fwd.contains("ts\":-"), "timestamps are unsigned integers");
+    }
+
+    #[test]
+    fn collector_round_trips() {
+        let before = drain_collected();
+        collect(RunTrace {
+            plan: "t/collector".into(),
+            events: vec![ev(1, 0, EventKind::QueryIssue)],
+            dropped: 0,
+        });
+        let drained = drain_collected();
+        assert!(drained.iter().any(|t| t.plan == "t/collector"));
+        // Restore anything a concurrently running test had deposited.
+        for t in before {
+            collect(t);
+        }
+    }
+
+    #[test]
+    fn summary_names_kinds() {
+        let t = RunTrace {
+            plan: "p".into(),
+            events: vec![ev(1, 0, EventKind::CacheMiss), ev(2, 0, EventKind::NocHop)],
+            dropped: 5,
+        };
+        let s = summarize(&t);
+        assert!(s.contains("cache_miss=1"));
+        assert!(s.contains("noc_hop=1"));
+        assert!(s.contains("5 dropped"));
+    }
+}

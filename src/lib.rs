@@ -33,6 +33,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`config`] | `qei-config` | machine config (Table II), schemes (Table I) |
+//! | [`trace`] | `qei-trace` | deterministic event tracing + Chrome export |
 //! | [`mem`] | `qei-mem` | guest memory, paging, TLBs |
 //! | [`noc`] | `qei-noc` | mesh network-on-chip |
 //! | [`cache`] | `qei-cache` | L1/L2/NUCA-LLC/DRAM hierarchy |
@@ -54,6 +55,7 @@ pub use qei_mem as mem;
 pub use qei_noc as noc;
 pub use qei_power as power;
 pub use qei_sim as sim;
+pub use qei_trace as trace;
 pub use qei_workloads as workloads;
 
 /// The items most programs need, in one import.

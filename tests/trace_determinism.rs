@@ -1,0 +1,65 @@
+//! Tracing determinism: with the event layer enabled, the Chrome export and
+//! the reports must be byte-identical whether the plans run serially or
+//! across worker threads.
+//!
+//! This lives in its own test binary because the tracing flag and the trace
+//! collector are process-global; sharing a process with other tests would
+//! let their runs leak into the collected set.
+
+use qei::prelude::*;
+use qei::trace;
+
+#[test]
+fn chrome_export_is_identical_across_thread_counts() {
+    // Unique seeds so the plan tags ("g91b92...") cannot collide with
+    // anything else that might trace in this process.
+    let spec = WorkloadSpec::new(
+        91,
+        92,
+        WorkloadKind::JvmGc {
+            objects: 3_000,
+            queries: 96,
+        },
+    );
+    let plans = [
+        RunPlan::baseline(spec),
+        RunPlan::qei(spec, Scheme::CoreIntegrated),
+        RunPlan::qei(spec, Scheme::ChaTlb),
+        RunPlan::qei_nonblocking(spec, Scheme::DeviceIndirect, 16),
+    ];
+
+    trace::set_tracing(true);
+    let run = |threads: usize| -> (String, Vec<String>) {
+        let engine = Engine::paper().with_threads(threads);
+        let reports: Vec<String> = engine
+            .run_all(&plans)
+            .iter()
+            .map(RunReport::to_json)
+            .collect();
+        let mut traces = trace::drain_collected();
+        traces.retain(|t| t.plan.contains("g91b92"));
+        assert_eq!(traces.len(), plans.len(), "one RunTrace per plan");
+        let total: usize = traces.iter().map(|t| t.events.len()).sum();
+        assert!(total > 0, "tracing was enabled but nothing was recorded");
+        for t in &traces {
+            if !t.plan.contains("baseline") {
+                assert!(!t.events.is_empty(), "{}: empty QEI trace", t.plan);
+            }
+        }
+        (trace::export_chrome(&traces), reports)
+    };
+    let (serial_export, serial_reports) = run(1);
+    let (parallel_export, parallel_reports) = run(4);
+    trace::set_tracing(false);
+
+    assert_eq!(
+        serial_reports, parallel_reports,
+        "reports diverge across thread counts"
+    );
+    assert_eq!(
+        serial_export, parallel_export,
+        "Chrome export diverges across thread counts"
+    );
+    assert!(serial_export.starts_with("{\"traceEvents\":["));
+    assert!(serial_export.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
+}

@@ -218,17 +218,18 @@ pub struct Rule {
 
 /// Crates whose code *is* the simulated machine: iteration order and float
 /// rounding inside them change published numbers.
-const SIM_STATE_CRATES: [&str; 5] = [
+const SIM_STATE_CRATES: [&str; 6] = [
     "crates/sim/",
     "crates/cache/",
     "crates/mem/",
     "crates/core/",
     "crates/noc/",
+    "crates/trace/",
 ];
 
 /// Crates on the path from simulation to the figures in the paper: a panic
 /// here kills a sweep and eats its partial results.
-const REPORT_CRATES: [&str; 8] = [
+const REPORT_CRATES: [&str; 9] = [
     "crates/core/",
     "crates/sim/",
     "crates/cache/",
@@ -237,6 +238,7 @@ const REPORT_CRATES: [&str; 8] = [
     "crates/config/",
     "crates/power/",
     "crates/experiments/",
+    "crates/trace/",
 ];
 
 fn in_any(path: &str, prefixes: &[&str]) -> bool {
