@@ -6,7 +6,7 @@
 use qei_bench::{checksum, dpdk_fixture, jvm_fixture, BenchSuite};
 use qei_cache::MemoryHierarchy;
 use qei_config::{Cycles, MachineConfig, Scheme};
-use qei_core::{run_query, FirmwareStore, QeiAccelerator};
+use qei_core::{run_query, FirmwareStore, QeiAccelerator, QueryRequest, SubmitCtx};
 use qei_cpu::{CoreModel, MemBus, Trace};
 use qei_datastructs::{stage_key, ChainedHash, QueryDs};
 use qei_mem::GuestMem;
@@ -93,10 +93,15 @@ fn bench_accel_submission(suite: &mut BenchSuite) {
         let mut now = Cycles(0);
         suite.bench(&format!("accel_submit/{}", scheme.label()), || {
             i = (i + 1) % keys.len();
-            let out =
-                accel.submit_blocking(now, table.header_addr(), keys[i], &mut guest, &mut hier);
-            now = Cycles(out.completion.as_u64() % 1_000_000);
-            black_box(out.result.unwrap())
+            let (completion, result) = accel
+                .submit(
+                    QueryRequest::blocking(table.header_addr(), keys[i]),
+                    SubmitCtx::new(now, &mut guest, &mut hier),
+                )
+                .completed()
+                .unwrap();
+            now = Cycles(completion.as_u64() % 1_000_000);
+            black_box(result.unwrap())
         });
     }
 }

@@ -18,6 +18,7 @@
 //! ```
 
 pub mod cycles;
+pub mod load;
 pub mod machine;
 pub mod registry;
 pub mod rng;
@@ -25,6 +26,7 @@ pub mod scheme;
 pub mod stats;
 
 pub use cycles::Cycles;
+pub use load::{AdmissionPolicy, LoadSpec};
 pub use machine::{CacheParams, DramParams, MachineConfig, QeiParams, TlbParams};
 pub use registry::{StatValue, StatsRegistry};
 pub use rng::SimRng;

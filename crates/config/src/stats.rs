@@ -228,6 +228,17 @@ impl Log2Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Folds another histogram's samples into this one (bucket-wise sum;
+    /// the aggregate is exactly what recording both sample sets would give).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.n += other.n;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.n
@@ -386,6 +397,27 @@ mod tests {
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.percentile(100), u64::MAX);
+    }
+
+    #[test]
+    fn log2_merge_equals_recording_both_sets() {
+        let (mut a, mut b, mut both) = (
+            Log2Histogram::new(),
+            Log2Histogram::new(),
+            Log2Histogram::new(),
+        );
+        for v in [0u64, 3, 17, 900] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 17, 40_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.max(), 40_000);
     }
 
     /// The naive reference: sort the samples, take the nearest-rank value,

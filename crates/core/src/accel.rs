@@ -25,7 +25,7 @@
 
 use crate::ctx::QueryCtx;
 use crate::dpu;
-use crate::fault::FaultCode;
+use crate::fault::{FaultCode, QueryError};
 use crate::firmware::{FirmwareStore, STEP_LIMIT};
 use crate::header::Header;
 use crate::qst::QueryStateTable;
@@ -43,15 +43,116 @@ const ENQUEUE_CYCLES: u64 = 2;
 /// Pipelined extra-line cost for multi-line reads (beyond the first line).
 const EXTRA_LINE_CYCLES: u64 = 8;
 
-/// Outcome of a blocking query: when the result reaches the core, and what
-/// it was.
+/// A typed query submission: the structure's header, the staged key, and —
+/// for non-blocking `QUERY_NB` — the address the result is stored to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BlockingOutcome {
-    /// Cycle at which the core's query instruction can complete.
-    pub completion: Cycles,
-    /// The functional result (checked against the software baseline in
-    /// tests) or the delivered exception.
-    pub result: Result<u64, FaultCode>,
+pub struct QueryRequest {
+    /// Address of the 64-byte data-structure header.
+    pub header: VirtAddr,
+    /// Address of the staged key bytes.
+    pub key: VirtAddr,
+    /// `Some(addr)` selects non-blocking `QUERY_NB` (the result is written
+    /// to `addr` on completion); `None` selects blocking `QUERY_B`.
+    pub result: Option<VirtAddr>,
+}
+
+impl QueryRequest {
+    /// A blocking `QUERY_B` request.
+    pub fn blocking(header: VirtAddr, key: VirtAddr) -> Self {
+        QueryRequest {
+            header,
+            key,
+            result: None,
+        }
+    }
+
+    /// A non-blocking `QUERY_NB` request storing its result to `result`.
+    pub fn nonblocking(header: VirtAddr, key: VirtAddr, result: VirtAddr) -> Self {
+        QueryRequest {
+            header,
+            key,
+            result: Some(result),
+        }
+    }
+}
+
+/// Everything a submission needs from the surrounding simulation, bundled so
+/// [`QeiAccelerator::submit`] keeps a two-argument signature.
+#[derive(Debug)]
+pub struct SubmitCtx<'a> {
+    /// Cycle at which the core dispatches the query instruction.
+    pub now: Cycles,
+    /// The guest address space the query walks.
+    pub guest: &'a mut GuestMem,
+    /// The shared cache/NoC substrate the walk is priced on.
+    pub mem: &'a mut MemoryHierarchy,
+}
+
+impl<'a> SubmitCtx<'a> {
+    /// Bundles a submission context.
+    pub fn new(now: Cycles, guest: &'a mut GuestMem, mem: &'a mut MemoryHierarchy) -> Self {
+        SubmitCtx { now, guest, mem }
+    }
+}
+
+/// Unified outcome of a query submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// A blocking query ran to completion: when the result reached the core
+    /// through the Result Queue, and what it was (checked against the
+    /// software baseline in tests) or the delivered exception.
+    Completed {
+        /// Cycle at which the core's query instruction can complete.
+        completion: Cycles,
+        /// The functional result or the delivered exception.
+        result: Result<u64, FaultCode>,
+    },
+    /// A non-blocking query was accepted into the Query Queue; the core
+    /// resumes at `accept`, and the result store lands in memory at `done`.
+    Accepted {
+        /// Cycle the instruction retires (request enqueued).
+        accept: Cycles,
+        /// Cycle the result (or fault code) store reaches memory.
+        done: Cycles,
+    },
+    /// An admission layer refused the submission. The accelerator itself
+    /// never rejects — the QST applies backpressure instead — but the
+    /// serving layer's bounded admission queue does (`qei-serve`).
+    Rejected {
+        /// Earliest cycle the client may retry.
+        retry_at: Cycles,
+    },
+}
+
+impl QueryOutcome {
+    /// The cycle at which the submitting core resumes execution.
+    pub fn resume_at(&self) -> Cycles {
+        match *self {
+            QueryOutcome::Completed { completion, .. } => completion,
+            QueryOutcome::Accepted { accept, .. } => accept,
+            QueryOutcome::Rejected { retry_at } => retry_at,
+        }
+    }
+
+    /// Blocking completion parts, if this outcome is `Completed`.
+    pub fn completed(self) -> Option<(Cycles, Result<u64, FaultCode>)> {
+        match self {
+            QueryOutcome::Completed { completion, result } => Some((completion, result)),
+            _ => None,
+        }
+    }
+
+    /// The error classification, if the query produced no usable result.
+    /// `Accepted` is not an error: the result materializes at `done`.
+    pub fn error(&self) -> Option<QueryError> {
+        match *self {
+            QueryOutcome::Completed {
+                result: Err(code), ..
+            } => Some(QueryError::Fault(code)),
+            QueryOutcome::Rejected { .. } => Some(QueryError::Rejected),
+            _ => None,
+        }
+    }
 }
 
 /// Aggregate accelerator statistics (inputs to the power model and the
@@ -108,9 +209,11 @@ impl AccelStats {
     }
 
     /// Records one completed query's latency into the per-outcome sum and
-    /// histogram.
-    fn record_latency(&mut self, latency: u64, faulted: bool) {
-        if faulted {
+    /// histogram, keyed on the typed fault (if any) so fault accounting can
+    /// never be conflated with the serving layer's reject/timeout keys
+    /// (those live in `qei-serve`, under the `serve` registry group).
+    fn record_latency(&mut self, latency: u64, fault: Option<FaultCode>) {
+        if fault.is_some() {
             self.fault_latency_sum += latency;
             self.fault_latency_hist.record(latency);
         } else {
@@ -332,23 +435,31 @@ impl QeiAccelerator {
     // Submission
     // ------------------------------------------------------------------
 
-    /// Submits a blocking `QUERY_B` dispatched by the core at `now`.
-    pub fn submit_blocking(
-        &mut self,
-        now: Cycles,
-        header_addr: VirtAddr,
-        key_addr: VirtAddr,
-        guest: &mut GuestMem,
-        mem: &mut MemoryHierarchy,
-    ) -> BlockingOutcome {
+    /// Submits a query. `req.result` selects the instruction flavor:
+    /// `None` dispatches a blocking `QUERY_B` (the outcome is
+    /// [`QueryOutcome::Completed`]); `Some(addr)` dispatches a non-blocking
+    /// `QUERY_NB` whose result is written to `addr` when the query completes
+    /// (the outcome is [`QueryOutcome::Accepted`]). The accelerator never
+    /// returns [`QueryOutcome::Rejected`] — a full QST shows up as
+    /// backpressure folded into the completion time instead.
+    pub fn submit(&mut self, req: QueryRequest, ctx: SubmitCtx<'_>) -> QueryOutcome {
+        match req.result {
+            None => self.submit_blocking(req, ctx),
+            Some(result_addr) => self.submit_nonblocking(req, result_addr, ctx),
+        }
+    }
+
+    /// Blocking `QUERY_B` path.
+    fn submit_blocking(&mut self, req: QueryRequest, ctx: SubmitCtx<'_>) -> QueryOutcome {
+        let SubmitCtx { now, guest, mem } = ctx;
         let qid = self.stats.queries;
         self.trace
             .emit(now.as_u64(), TRACK_ISSUE, EventKind::QueryIssue, qid, 1);
-        let (done, result) = self.run_one(now, header_addr, key_addr, guest, mem);
+        let (done, result) = self.run_one(now, req.header, req.key, guest, mem);
         // Result returns to the core through the Result Queue.
-        let completion = done + Cycles(self.request_latency(mem, header_addr));
+        let completion = done + Cycles(self.request_latency(mem, req.header));
         self.stats
-            .record_latency((completion - now).as_u64(), result.is_err());
+            .record_latency((completion - now).as_u64(), result.err());
         self.trace.emit(
             completion.as_u64(),
             TRACK_ISSUE,
@@ -356,25 +467,22 @@ impl QeiAccelerator {
             result.err().map_or(0, |c| c.encode() & 0xFF),
             qid,
         );
-        BlockingOutcome { completion, result }
+        QueryOutcome::Completed { completion, result }
     }
 
-    /// Submits a non-blocking `QUERY_NB`. Returns the cycle the accelerator
-    /// *accepts* the request (the instruction retires then); the result is
-    /// written to `result_addr` when the query completes.
-    pub fn submit_nonblocking(
+    /// Non-blocking `QUERY_NB` path: the instruction retires at `accept`;
+    /// the result is written to `result_addr` when the query completes.
+    fn submit_nonblocking(
         &mut self,
-        now: Cycles,
-        header_addr: VirtAddr,
-        key_addr: VirtAddr,
+        req: QueryRequest,
         result_addr: VirtAddr,
-        guest: &mut GuestMem,
-        mem: &mut MemoryHierarchy,
-    ) -> Cycles {
+        ctx: SubmitCtx<'_>,
+    ) -> QueryOutcome {
+        let SubmitCtx { now, guest, mem } = ctx;
         let qid = self.stats.queries;
         self.trace
             .emit(now.as_u64(), TRACK_ISSUE, EventKind::QueryIssue, qid, 0);
-        let (done, result) = self.run_one(now, header_addr, key_addr, guest, mem);
+        let (done, result) = self.run_one(now, req.header, req.key, guest, mem);
         // Write the result (or fault code) to the designated address.
         let wire = match result {
             Ok(v) => v.max(1), // completed-but-missing still sets a flag bit
@@ -394,7 +502,7 @@ impl QeiAccelerator {
         self.nb_drain = self.nb_drain.max(store_done);
         self.nb_outstanding.push((result_addr, store_done));
         self.stats
-            .record_latency((store_done - now).as_u64(), result.is_err());
+            .record_latency((store_done - now).as_u64(), result.err());
         self.trace.emit(
             store_done.as_u64(),
             TRACK_ISSUE,
@@ -405,7 +513,10 @@ impl QeiAccelerator {
         // Accept = request enqueued in the Query Queue; backpressure shows up
         // when the QST was full (claim waited), which run_one folded into
         // `done`; approximating accept as enqueue + request flight.
-        now + Cycles(ENQUEUE_CYCLES)
+        QueryOutcome::Accepted {
+            accept: now + Cycles(ENQUEUE_CYCLES),
+            done: store_done,
+        }
     }
 
     /// Flushes the accelerator (interrupt/context switch, §IV-D). Abort codes
@@ -864,6 +975,43 @@ mod tests {
         kb
     }
 
+    /// Blocking submit through the typed API; panics unless it completed.
+    fn submit_b(
+        accel: &mut QeiAccelerator,
+        now: Cycles,
+        ha: VirtAddr,
+        ka: VirtAddr,
+        guest: &mut GuestMem,
+        hier: &mut MemoryHierarchy,
+    ) -> (Cycles, Result<u64, FaultCode>) {
+        accel
+            .submit(
+                QueryRequest::blocking(ha, ka),
+                SubmitCtx::new(now, guest, hier),
+            )
+            .completed()
+            .unwrap()
+    }
+
+    /// Non-blocking submit through the typed API; returns (accept, done).
+    fn submit_nb(
+        accel: &mut QeiAccelerator,
+        now: Cycles,
+        ha: VirtAddr,
+        ka: VirtAddr,
+        ra: VirtAddr,
+        guest: &mut GuestMem,
+        hier: &mut MemoryHierarchy,
+    ) -> (Cycles, Cycles) {
+        match accel.submit(
+            QueryRequest::nonblocking(ha, ka, ra),
+            SubmitCtx::new(now, guest, hier),
+        ) {
+            QueryOutcome::Accepted { accept, done } => (accept, done),
+            other => panic!("nonblocking submit must be accepted: {other:?}"),
+        }
+    }
+
     #[test]
     fn timing_result_matches_functional_result() {
         let config = MachineConfig::skylake_sp_24();
@@ -876,9 +1024,10 @@ mod tests {
             for i in [0u64, 7, 15, 99] {
                 let ka = key_at(&mut guest, i);
                 let functional = run_query(&fw, &guest, ha, ka);
-                let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
-                assert_eq!(out.result, functional, "{scheme}: key {i}");
-                assert!(out.completion > Cycles(0));
+                let (completion, result) =
+                    submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
+                assert_eq!(result, functional, "{scheme}: key {i}");
+                assert!(completion > Cycles(0));
             }
         }
     }
@@ -896,9 +1045,9 @@ mod tests {
         let mut serial_span = 0u64;
         for i in 0..8u64 {
             let ka = key_at(&mut guest, i % 12);
-            let out = accel.submit_blocking(t, ha, ka, &mut guest, &mut hier);
-            serial_span += (out.completion - t).as_u64();
-            t = out.completion;
+            let (completion, _) = submit_b(&mut accel, t, ha, ka, &mut guest, &mut hier);
+            serial_span += (completion - t).as_u64();
+            t = completion;
         }
 
         // Overlapped: all submitted at once (fresh accelerator, same data).
@@ -907,8 +1056,8 @@ mod tests {
         let mut last = Cycles(0);
         for i in 0..8u64 {
             let ka = key_at(&mut guest, i % 12);
-            let out = accel2.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier2);
-            last = last.max(out.completion);
+            let (completion, _) = submit_b(&mut accel2, Cycles(0), ha, ka, &mut guest, &mut hier2);
+            last = last.max(completion);
         }
         assert!(
             last.as_u64() < serial_span,
@@ -927,8 +1076,8 @@ mod tests {
         let mut completions = Vec::new();
         for i in 0..40u64 {
             let ka = key_at(&mut guest, 63 - (i % 64));
-            let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
-            completions.push(out.completion.as_u64());
+            let (completion, _) = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
+            completions.push(completion.as_u64());
         }
         let max = *completions.iter().max().unwrap();
         let min = *completions.iter().min().unwrap();
@@ -947,8 +1096,8 @@ mod tests {
             accel.set_device_data_latency(lat);
             let ha = build_list(&mut guest, 8);
             let ka = key_at(&mut guest, 7);
-            let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
-            spans.push(out.completion.as_u64());
+            let (completion, _) = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
+            spans.push(completion.as_u64());
         }
         assert!(spans[0] < spans[1] && spans[1] < spans[2], "{spans:?}");
     }
@@ -962,8 +1111,9 @@ mod tests {
         let ha = build_list(&mut guest, 8);
         let ka = key_at(&mut guest, 3);
         let ra = guest.alloc(8, 8).unwrap();
-        let accept = accel.submit_nonblocking(Cycles(5), ha, ka, ra, &mut guest, &mut hier);
+        let (accept, done) = submit_nb(&mut accel, Cycles(5), ha, ka, ra, &mut guest, &mut hier);
         assert!(accept >= Cycles(5));
+        assert!(done > accept);
         assert!(accel.nb_drain_time() > accept);
         assert_eq!(guest.read_u64(ra).unwrap(), 103);
     }
@@ -990,7 +1140,7 @@ mod tests {
         header.write_to(&mut guest, ha).unwrap();
         let ka = key_at(&mut guest, 0);
         let ra = guest.alloc(8, 8).unwrap();
-        accel.submit_nonblocking(Cycles(0), ha, ka, ra, &mut guest, &mut hier);
+        submit_nb(&mut accel, Cycles(0), ha, ka, ra, &mut guest, &mut hier);
         let wire = guest.read_u64(ra).unwrap();
         assert_eq!(FaultCode::decode(wire), Some(FaultCode::PageFault));
     }
@@ -1005,7 +1155,15 @@ mod tests {
         let ra = guest.alloc(8 * 4, 8).unwrap();
         for i in 0..4u64 {
             let ka = key_at(&mut guest, 31 - i);
-            accel.submit_nonblocking(Cycles(0), ha, ka, ra + i * 8, &mut guest, &mut hier);
+            submit_nb(
+                &mut accel,
+                Cycles(0),
+                ha,
+                ka,
+                ra + i * 8,
+                &mut guest,
+                &mut hier,
+            );
         }
         // Flush *before* any completion time: everything outstanding aborts.
         let done = accel.flush(Cycles(1), &mut guest);
@@ -1026,7 +1184,7 @@ mod tests {
         let ha = build_list(&mut guest, 12);
         for i in 0..12u64 {
             let ka = key_at(&mut guest, i);
-            accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+            let _ = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
         }
         let s = accel.stats();
         // Linked-list keys live out of line; most comparisons travel to a
@@ -1052,7 +1210,7 @@ mod tests {
         // walk must still take compulsory misses on each of them.
         let ha = build_list(&mut guest, 400);
         let ka = key_at(&mut guest, 399);
-        accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+        let _ = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
         let s = accel.stats();
         assert!(s.tlb_misses >= 3, "misses {}", s.tlb_misses);
         assert!(s.tlb_lookups > 100 * s.tlb_misses, "dense pages amortize");
@@ -1068,8 +1226,8 @@ mod tests {
         let mut last = Cycles(0);
         for i in 0..20u64 {
             let ka = key_at(&mut guest, 31 - (i % 32));
-            let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
-            last = last.max(out.completion);
+            let (completion, _) = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
+            last = last.max(completion);
         }
         let occ = accel.qst_occupancy(last);
         assert!(occ > 0.2 && occ <= 1.0, "occupancy {occ}");
@@ -1083,13 +1241,13 @@ mod tests {
         let mut accel = QeiAccelerator::new(&config, Scheme::ChaTlb, 0);
         let ha = build_list(&mut guest, 8);
         let ka = key_at(&mut guest, 7);
-        accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+        let _ = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
         let warm_misses = accel.stats().tlb_misses;
         assert!(warm_misses > 0);
         accel.reset_epoch();
         assert_eq!(accel.stats().queries, 0);
         // Same query again: the TLB stayed warm across the epoch.
-        accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+        let _ = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
         assert_eq!(accel.stats().tlb_misses, 0, "TLB must stay warm");
     }
 
@@ -1102,7 +1260,7 @@ mod tests {
         let ha = build_list(&mut guest, 10);
         for i in 0..10u64 {
             let ka = key_at(&mut guest, i);
-            accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+            let _ = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
         }
         let s = accel.stats();
         assert_eq!(s.queries, 10);
@@ -1126,7 +1284,7 @@ mod tests {
         let ha = build_list(&mut guest, 8);
         for i in 0..5u64 {
             let ka = key_at(&mut guest, i);
-            accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
+            let _ = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
         }
         let before = accel.stats();
         assert_eq!(before.faults, 0);
@@ -1148,8 +1306,8 @@ mod tests {
         bad.write_to(&mut guest, bha).unwrap();
         for i in 0..3u64 {
             let ka = key_at(&mut guest, i);
-            let out = accel.submit_blocking(Cycles(0), bha, ka, &mut guest, &mut hier);
-            assert!(out.result.is_err());
+            let (_, result) = submit_b(&mut accel, Cycles(0), bha, ka, &mut guest, &mut hier);
+            assert!(result.is_err());
         }
 
         let after = accel.stats();

@@ -87,6 +87,47 @@ impl fmt::Display for FaultCode {
 
 impl Error for FaultCode {}
 
+/// Why a submitted query produced no usable result. Hardware faults (§IV-D)
+/// and serving-layer refusals are distinct variants so the accelerator's
+/// fault-latency accounting (`accel.fault_latency_*`) and the serving
+/// layer's reject/timeout accounting (`serve.*`) can never be conflated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryError {
+    /// The accelerator delivered an exception code during the walk.
+    Fault(FaultCode),
+    /// The admission queue in front of the accelerator refused the
+    /// submission (bounded queue full under a `Reject`/`TailDrop` policy).
+    Rejected,
+    /// Every retry of a rejected submission was also refused; the client
+    /// exhausted its backoff budget and gave up.
+    TimedOut,
+}
+
+impl From<FaultCode> for QueryError {
+    fn from(code: FaultCode) -> Self {
+        QueryError::Fault(code)
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Fault(code) => code.fmt(f),
+            QueryError::Rejected => f.write_str("query rejected by admission queue"),
+            QueryError::TimedOut => f.write_str("query retries exhausted (timed out)"),
+        }
+    }
+}
+
+impl Error for QueryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QueryError::Fault(code) => Some(code),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +169,19 @@ mod tests {
         for f in ALL {
             assert!(!f.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn query_error_classification() {
+        let fault = QueryError::from(FaultCode::StepLimit);
+        assert_eq!(fault, QueryError::Fault(FaultCode::StepLimit));
+        assert_ne!(fault, QueryError::Rejected);
+        assert_ne!(QueryError::Rejected, QueryError::TimedOut);
+        for e in [fault, QueryError::Rejected, QueryError::TimedOut] {
+            assert!(!e.to_string().is_empty());
+        }
+        // Only the hardware variant chains to a FaultCode source.
+        assert!(Error::source(&fault).is_some());
+        assert!(Error::source(&QueryError::Rejected).is_none());
     }
 }

@@ -35,10 +35,10 @@ pub mod header;
 pub mod qst;
 pub mod uop;
 
-pub use accel::{AccelStats, BlockingOutcome, QeiAccelerator};
+pub use accel::{AccelStats, QeiAccelerator, QueryOutcome, QueryRequest, SubmitCtx};
 pub use ctx::QueryCtx;
 pub use exec::run_query;
-pub use fault::FaultCode;
+pub use fault::{FaultCode, QueryError};
 pub use firmware::{CfaProgram, FirmwareStore};
 pub use header::{DsType, Header, HEADER_BYTES};
 pub use qst::QueryStateTable;

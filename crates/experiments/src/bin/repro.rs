@@ -24,7 +24,8 @@
 //! nonzero if any program fails a check. It takes no experiment argument.
 
 use qei_experiments::{
-    ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, smoke, suite, tab1, tab2, tab3,
+    ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, load_sweep, smoke, suite, tab1, tab2,
+    tab3,
 };
 use qei_experiments::{Scale, SuiteData};
 use std::time::Instant;
@@ -187,6 +188,10 @@ fn main() {
     if what == "all" || what == "ablations" {
         eprintln!("[repro] ablation sweeps ...");
         emit(ablations::render());
+    }
+    if what == "all" || what == "load-sweep" {
+        eprintln!("[repro] load sweep (served arrival rates) ...");
+        emit(load_sweep::render(scale));
     }
     if what == "all" || what == "smoke" {
         emit(smoke::render(scale));

@@ -17,6 +17,7 @@ pub mod fig12;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod load_sweep;
 pub mod render;
 pub mod smoke;
 pub mod suite;
@@ -26,8 +27,8 @@ pub mod tab3;
 
 pub use suite::{BenchResult, Scale, SuiteData};
 
-/// All experiment identifiers, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+/// All experiment identifiers, in paper order (extensions last).
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "fig1",
     "tab1",
     "tab2",
@@ -40,5 +41,6 @@ pub const ALL_EXPERIMENTS: [&str; 13] = [
     "tab3",
     "occupancy",
     "ablations",
+    "load-sweep",
     "smoke",
 ];

@@ -1,0 +1,251 @@
+//! `load-sweep` — the cloud-serving throughput–latency knee: sweep the
+//! open-loop arrival rate against the served DPDK workload and compare the
+//! calibrated software baseline with QEI blocking and non-blocking serving.
+//!
+//! Not a paper figure: the paper replays fixed traces, but its cloud pitch
+//! (and related serving-accelerator work — E3, Cheetah) characterizes an
+//! accelerator by where its latency curve knees as offered load grows. The
+//! single-threaded software server saturates at one query per service time,
+//! while QEI overlaps admitted queries across QST slots, so its knee sits at
+//! a higher offered rate.
+
+use crate::render;
+use crate::suite::{engine, suite_specs, Scale};
+use qei_config::{LoadSpec, Scheme};
+use qei_sim::{RunMode, RunPlan, RunReport};
+
+/// Swept mean inter-arrival gaps in cycles, densest last (offered load
+/// rises left to right in the rendered table).
+pub const RATES: [u64; 5] = [4_000, 1_200, 400, 150, 60];
+
+/// The served backends compared, as (label, scheme, blocking) triples.
+pub const BACKENDS: [(&str, Option<Scheme>, bool); 3] = [
+    ("software", None, true),
+    ("qei-b", Some(Scheme::CoreIntegrated), true),
+    ("qei-nb", Some(Scheme::CoreIntegrated), false),
+];
+
+/// One (backend, rate) measurement, read back from the run's StatsRegistry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPoint {
+    /// Mean inter-arrival gap per tenant (cycles).
+    pub mean_interarrival: u64,
+    /// Nominal offered load, queries per million cycles across tenants.
+    pub offered_qpmc: u64,
+    /// Achieved throughput, completed queries per million cycles.
+    pub achieved_qpmc: u64,
+    /// Client-observed latency percentiles (cycles).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Admission rejections (every bounce, including failed retries).
+    pub rejects: u64,
+    /// Backed-off resubmissions.
+    pub retries: u64,
+}
+
+/// One backend's full sweep.
+#[derive(Debug, Clone)]
+pub struct LoadSweepRow {
+    /// Backend label from [`BACKENDS`].
+    pub backend: &'static str,
+    /// One point per entry of [`RATES`].
+    pub points: Vec<LoadPoint>,
+    /// Per-tenant `(p50, p90, p99, rejects, retries)` at the densest rate.
+    pub tenants_at_knee: Vec<(u64, u64, u64, u64, u64)>,
+}
+
+/// The load pattern at one swept rate.
+fn load_at(scale: Scale, mean_interarrival: u64, blocking: bool) -> LoadSpec {
+    LoadSpec {
+        mean_interarrival,
+        blocking,
+        arrivals_per_tenant: match scale {
+            Scale::Quick => 32,
+            Scale::Paper => 128,
+        },
+        // Deep enough that the software server's one-at-a-time capacity,
+        // not the admission bound, is what saturates first.
+        queue_depth: 32,
+        ..LoadSpec::default()
+    }
+}
+
+fn point(load: &LoadSpec, r: &RunReport) -> LoadPoint {
+    LoadPoint {
+        mean_interarrival: load.mean_interarrival,
+        offered_qpmc: load.tenants as u64 * 1_000_000 / load.mean_interarrival,
+        achieved_qpmc: r.stats.count("serve", "throughput_qpmc"),
+        p50: r.stats.count("serve", "latency_p50"),
+        p90: r.stats.count("serve", "latency_p90"),
+        p99: r.stats.count("serve", "latency_p99"),
+        rejects: r.stats.count("serve", "rejects"),
+        retries: r.stats.count("serve", "retries"),
+    }
+}
+
+/// Runs the sweep: per backend, one served plan per rate, all through one
+/// parallel [`qei_sim::Engine::run_all`] batch over a shared workload build.
+pub fn rows(scale: Scale) -> Vec<LoadSweepRow> {
+    let spec = suite_specs(scale)[0]; // DPDK: the paper's headline workload
+    let mut plans = Vec::new();
+    for (_, scheme, blocking) in BACKENDS {
+        for rate in RATES {
+            let mut builder = RunPlan::for_workload(spec).mode(RunMode::Served {
+                load: load_at(scale, rate, blocking),
+            });
+            if let Some(scheme) = scheme {
+                builder = builder.scheme(scheme);
+            }
+            plans.push(builder.build());
+        }
+    }
+    let reports = engine().run_all(&plans);
+    BACKENDS
+        .iter()
+        .zip(reports.chunks(RATES.len()))
+        .map(|(&(backend, _, blocking), chunk)| {
+            let points = RATES
+                .iter()
+                .zip(chunk)
+                .map(|(&rate, r)| point(&load_at(scale, rate, blocking), r))
+                .collect();
+            let knee = &chunk[RATES.len() - 1];
+            let tenants = load_at(scale, RATES[0], blocking).tenants;
+            let tenants_at_knee = (0..tenants)
+                .map(|t| {
+                    (
+                        knee.stats.count("serve", &format!("t{t}_p50")),
+                        knee.stats.count("serve", &format!("t{t}_p90")),
+                        knee.stats.count("serve", &format!("t{t}_p99")),
+                        knee.stats.count("serve", &format!("t{t}_rejects")),
+                        knee.stats.count("serve", &format!("t{t}_retries")),
+                    )
+                })
+                .collect();
+            LoadSweepRow {
+                backend,
+                points,
+                tenants_at_knee,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep: the aggregate throughput–latency table plus the
+/// per-tenant breakdown at the densest (knee) rate.
+pub fn render(scale: Scale) -> String {
+    let rows = rows(scale);
+    let header = [
+        "backend", "offered", "achieved", "p50", "p90", "p99", "rejects", "retries",
+    ];
+    let mut body = Vec::new();
+    for row in &rows {
+        for p in &row.points {
+            body.push(vec![
+                row.backend.to_owned(),
+                p.offered_qpmc.to_string(),
+                p.achieved_qpmc.to_string(),
+                p.p50.to_string(),
+                p.p90.to_string(),
+                p.p99.to_string(),
+                p.rejects.to_string(),
+                p.retries.to_string(),
+            ]);
+        }
+    }
+    let mut out = render::table(
+        "Load sweep — served DPDK throughput (queries/Mcycle) and client latency vs offered load (QEI knees above software)",
+        &header,
+        &body,
+    );
+    let tenant_header = [
+        "backend", "tenant", "p50", "p90", "p99", "rejects", "retries",
+    ];
+    let tenant_body: Vec<Vec<String>> = rows
+        .iter()
+        .flat_map(|row| {
+            row.tenants_at_knee
+                .iter()
+                .enumerate()
+                .map(|(t, &(p50, p90, p99, rej, retry))| {
+                    vec![
+                        row.backend.to_owned(),
+                        format!("t{t}"),
+                        p50.to_string(),
+                        p90.to_string(),
+                        p99.to_string(),
+                        rej.to_string(),
+                        retry.to_string(),
+                    ]
+                })
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&render::table(
+        "Per-tenant latency and admission outcomes at the densest rate",
+        &tenant_header,
+        &tenant_body,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qei_knees_above_software() {
+        let rows = rows(Scale::Quick);
+        assert_eq!(rows.len(), BACKENDS.len());
+        let by_name =
+            |name: &str| -> &LoadSweepRow { rows.iter().find(|r| r.backend == name).unwrap() };
+        let sw = by_name("software");
+        let qei = by_name("qei-b");
+        // At the lightest rate nobody saturates: achieved tracks offered.
+        assert!(sw.points[0].achieved_qpmc > 0);
+        // At the densest rate the accelerator sustains more throughput than
+        // the single-server software baseline — the knee separation.
+        let last = RATES.len() - 1;
+        assert!(
+            qei.points[last].achieved_qpmc > sw.points[last].achieved_qpmc,
+            "qei {} vs software {}",
+            qei.points[last].achieved_qpmc,
+            sw.points[last].achieved_qpmc
+        );
+        // The saturated software server sheds load: rejects appear.
+        assert!(sw.points[last].rejects > 0);
+        // Achieved throughput never decreases as offered load grows (the
+        // admission queue sheds the excess instead of collapsing).
+        for row in &rows {
+            for w in row.points.windows(2) {
+                assert!(
+                    w[1].achieved_qpmc + w[1].achieved_qpmc / 4 >= w[0].achieved_qpmc,
+                    "{}: throughput collapsed {} -> {}",
+                    row.backend,
+                    w[0].achieved_qpmc,
+                    w[1].achieved_qpmc
+                );
+            }
+        }
+        // Per-tenant breakdown is populated for every tenant.
+        for row in &rows {
+            assert_eq!(
+                row.tenants_at_knee.len(),
+                LoadSpec::default().tenants as usize
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_both_tables() {
+        let out = render(Scale::Quick);
+        assert!(out.contains("Load sweep"));
+        assert!(out.contains("Per-tenant"));
+        assert!(out.contains("software"));
+        assert!(out.contains("qei-nb"));
+        assert!(out.contains("t3"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The open-loop arrival process.
+//!
+//! Each tenant owns an independent [`SimRng`] stream derived from the load
+//! seed, and draws integer geometric inter-arrival gaps with mean
+//! `mean_interarrival`: a gap is the number of Bernoulli(1/mean) trials
+//! until the first success, so the aggregate multi-tenant process is
+//! Poisson-approximate without a single floating-point operation. Arrival
+//! times are therefore a pure function of `(LoadSpec, n_jobs)` — the same
+//! stream regardless of thread count, process, or host.
+
+use qei_config::{LoadSpec, SimRng};
+
+/// One generated arrival: a tenant's `seq`-th query, requesting workload
+/// job `job`, reaching the admission queue at cycle `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Cycle the query reaches the admission queue.
+    pub at: u64,
+    /// Originating tenant.
+    pub tenant: u32,
+    /// Per-tenant arrival index.
+    pub seq: u32,
+    /// Index into the workload's job list.
+    pub job: u32,
+}
+
+/// One integer geometric draw with the given mean: the count of
+/// Bernoulli(1/mean) trials up to and including the first success.
+fn geometric(rng: &mut SimRng, mean: u64) -> u64 {
+    let mut gap = 1;
+    while rng.below(mean) != 0 {
+        gap += 1;
+    }
+    gap
+}
+
+/// Generates every arrival of the load pattern, tenant-major (the serving
+/// loop orders them by time through its event heap). `n_jobs` is the size
+/// of the workload's job list each arrival draws its query from.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`LoadSpec::validate`] or `n_jobs` is zero.
+pub fn arrivals(load: &LoadSpec, n_jobs: u32) -> Vec<Arrival> {
+    if let Err(why) = load.validate() {
+        panic!("invalid load spec: {why}");
+    }
+    assert!(n_jobs > 0, "load generation needs a nonempty job list");
+    let mut out = Vec::with_capacity(load.total_arrivals() as usize);
+    for tenant in 0..load.tenants {
+        // A distinct, well-separated substream per tenant (odd multiplier
+        // of the golden-ratio constant, as in splitmix).
+        let stream = load
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tenant as u64 + 1));
+        let mut rng = SimRng::seed_from_u64(stream);
+        let mut t = 0u64;
+        for seq in 0..load.arrivals_per_tenant {
+            t += geometric(&mut rng, load.mean_interarrival);
+            out.push(Arrival {
+                at: t,
+                tenant,
+                seq,
+                job: rng.below(n_jobs as u64) as u32,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_stream_is_deterministic() {
+        let load = LoadSpec::default();
+        assert_eq!(arrivals(&load, 40), arrivals(&load, 40));
+    }
+
+    #[test]
+    fn per_tenant_times_are_strictly_increasing() {
+        let load = LoadSpec {
+            tenants: 3,
+            arrivals_per_tenant: 50,
+            mean_interarrival: 10,
+            ..LoadSpec::default()
+        };
+        for tenant in 0..load.tenants {
+            let times: Vec<u64> = arrivals(&load, 8)
+                .iter()
+                .filter(|a| a.tenant == tenant)
+                .map(|a| a.at)
+                .collect();
+            assert_eq!(times.len(), 50);
+            assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        }
+    }
+
+    #[test]
+    fn empirical_mean_tracks_the_spec() {
+        let load = LoadSpec {
+            tenants: 1,
+            arrivals_per_tenant: 2_000,
+            mean_interarrival: 64,
+            ..LoadSpec::default()
+        };
+        let all = arrivals(&load, 4);
+        let span = all.last().map(|a| a.at).unwrap_or(0);
+        let mean = span / all.len() as u64;
+        assert!(
+            (40..=90).contains(&mean),
+            "geometric mean drifted: {mean} vs spec 64"
+        );
+    }
+
+    #[test]
+    fn tenants_get_distinct_streams() {
+        let load = LoadSpec {
+            tenants: 2,
+            arrivals_per_tenant: 20,
+            ..LoadSpec::default()
+        };
+        let all = arrivals(&load, 16);
+        let t0: Vec<u64> = all.iter().filter(|a| a.tenant == 0).map(|a| a.at).collect();
+        let t1: Vec<u64> = all.iter().filter(|a| a.tenant == 1).map(|a| a.at).collect();
+        assert_ne!(t0, t1, "tenant streams must not be identical");
+    }
+
+    #[test]
+    fn jobs_stay_in_range_and_vary() {
+        let load = LoadSpec {
+            tenants: 2,
+            arrivals_per_tenant: 100,
+            ..LoadSpec::default()
+        };
+        let all = arrivals(&load, 7);
+        assert!(all.iter().all(|a| a.job < 7));
+        let first = all[0].job;
+        assert!(all.iter().any(|a| a.job != first), "jobs never vary");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid load spec")]
+    fn invalid_spec_panics() {
+        let load = LoadSpec {
+            tenants: 0,
+            ..LoadSpec::default()
+        };
+        arrivals(&load, 4);
+    }
+
+    #[test]
+    fn unit_mean_is_back_to_back() {
+        let load = LoadSpec {
+            tenants: 1,
+            arrivals_per_tenant: 10,
+            mean_interarrival: 1,
+            ..LoadSpec::default()
+        };
+        let times: Vec<u64> = arrivals(&load, 2).iter().map(|a| a.at).collect();
+        assert_eq!(times, (1..=10).collect::<Vec<u64>>());
+    }
+}

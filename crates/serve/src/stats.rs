@@ -1,0 +1,240 @@
+//! Per-tenant serving statistics and their registry export.
+//!
+//! Everything here is integer state (`Log2Histogram` is fixed-size integer
+//! counters), so a [`ServeStats`] — and its registry/JSON rendering — is a
+//! deterministic pure function of the served run.
+
+use qei_config::{Log2Histogram, StatsRegistry};
+use qei_core::FaultCode;
+
+/// One tenant's view of the served run: offered vs achieved load, admission
+/// outcomes, and the client-observed latency distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Distinct queries that arrived (retries of the same query don't
+    /// re-count).
+    pub offered: u64,
+    /// Queries whose result the client observed (including faulted ones).
+    pub completed: u64,
+    /// Completed queries whose result was a fault.
+    pub faults: u64,
+    /// Admission refusals (every bounce, including each failed retry).
+    pub rejects: u64,
+    /// Backed-off resubmissions the client attempted.
+    pub retries: u64,
+    /// Queries discarded outright by the tail-drop policy.
+    pub drops: u64,
+    /// Queries abandoned after exhausting the retry budget.
+    pub timeouts: u64,
+    /// Cycles the producer spent blocked by the stall policy.
+    pub stall_cycles: u64,
+    /// Client-observed latency: first arrival to observed result.
+    pub latency: Log2Histogram,
+}
+
+impl TenantStats {
+    /// Records one observed completion with the given client-side latency;
+    /// `fault` carries the fault code if the query faulted.
+    pub fn complete(&mut self, latency: u64, fault: Option<FaultCode>) {
+        self.completed += 1;
+        if fault.is_some() {
+            self.faults += 1;
+        }
+        self.latency.record(latency);
+    }
+}
+
+/// The full served run: one [`TenantStats`] per tenant plus queue-level
+/// aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Per-tenant statistics, indexed by tenant id.
+    pub tenants: Vec<TenantStats>,
+    /// High-water mark of the admission queue's in-flight count.
+    pub peak_queue: u32,
+    /// Cycle the last result was observed (the run's simulated span).
+    pub horizon: u64,
+}
+
+impl ServeStats {
+    /// Zeroed statistics for `tenants` tenants.
+    pub fn new(tenants: u32) -> Self {
+        ServeStats {
+            tenants: vec![TenantStats::default(); tenants as usize],
+            peak_queue: 0,
+            horizon: 0,
+        }
+    }
+
+    /// The given tenant's mutable stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn tenant_mut(&mut self, tenant: u32) -> &mut TenantStats {
+        &mut self.tenants[tenant as usize]
+    }
+
+    fn total(&self, f: impl Fn(&TenantStats) -> u64) -> u64 {
+        self.tenants.iter().map(f).sum()
+    }
+
+    /// Total distinct queries offered across tenants.
+    pub fn offered(&self) -> u64 {
+        self.total(|t| t.offered)
+    }
+
+    /// Total observed completions across tenants.
+    pub fn completed(&self) -> u64 {
+        self.total(|t| t.completed)
+    }
+
+    /// Total faulted completions across tenants.
+    pub fn faults(&self) -> u64 {
+        self.total(|t| t.faults)
+    }
+
+    /// Total admission refusals across tenants.
+    pub fn rejects(&self) -> u64 {
+        self.total(|t| t.rejects)
+    }
+
+    /// Total backed-off resubmissions across tenants.
+    pub fn retries(&self) -> u64 {
+        self.total(|t| t.retries)
+    }
+
+    /// Total tail-dropped queries across tenants.
+    pub fn drops(&self) -> u64 {
+        self.total(|t| t.drops)
+    }
+
+    /// Total retry-budget exhaustions across tenants.
+    pub fn timeouts(&self) -> u64 {
+        self.total(|t| t.timeouts)
+    }
+
+    /// Total producer stall cycles across tenants.
+    pub fn stall_cycles(&self) -> u64 {
+        self.total(|t| t.stall_cycles)
+    }
+
+    /// The aggregate latency distribution (all tenants merged).
+    pub fn latency(&self) -> Log2Histogram {
+        let mut all = Log2Histogram::new();
+        for t in &self.tenants {
+            all.merge(&t.latency);
+        }
+        all
+    }
+
+    /// Achieved throughput as completed queries per million cycles of the
+    /// run's horizon — an exact integer, so reports stay byte-stable.
+    pub fn throughput_qpmc(&self) -> u64 {
+        self.completed()
+            .saturating_mul(1_000_000)
+            .checked_div(self.horizon)
+            .unwrap_or(0)
+    }
+
+    /// Exports aggregate and per-tenant statistics into `reg` under the
+    /// `serve` group.
+    pub fn export_into(&self, reg: &mut StatsRegistry) {
+        let g = "serve";
+        reg.set(g, "tenants", self.tenants.len() as u64);
+        reg.set(g, "offered", self.offered());
+        reg.set(g, "completed", self.completed());
+        reg.set(g, "faults", self.faults());
+        reg.set(g, "rejects", self.rejects());
+        reg.set(g, "retries", self.retries());
+        reg.set(g, "drops", self.drops());
+        reg.set(g, "timeouts", self.timeouts());
+        reg.set(g, "stall_cycles", self.stall_cycles());
+        reg.set(g, "peak_queue_depth", self.peak_queue as u64);
+        reg.set(g, "horizon_cycles", self.horizon);
+        reg.set(g, "throughput_qpmc", self.throughput_qpmc());
+        let all = self.latency();
+        reg.set(g, "latency", &all);
+        reg.set(g, "latency_p50", all.p50());
+        reg.set(g, "latency_p90", all.p90());
+        reg.set(g, "latency_p99", all.p99());
+        for (i, t) in self.tenants.iter().enumerate() {
+            reg.set(g, &format!("t{i}_offered"), t.offered);
+            reg.set(g, &format!("t{i}_completed"), t.completed);
+            reg.set(g, &format!("t{i}_faults"), t.faults);
+            reg.set(g, &format!("t{i}_rejects"), t.rejects);
+            reg.set(g, &format!("t{i}_retries"), t.retries);
+            reg.set(g, &format!("t{i}_drops"), t.drops);
+            reg.set(g, &format!("t{i}_timeouts"), t.timeouts);
+            reg.set(g, &format!("t{i}_stall_cycles"), t.stall_cycles);
+            reg.set(g, &format!("t{i}_latency"), &t.latency);
+            reg.set(g, &format!("t{i}_p50"), t.latency.p50());
+            reg.set(g, &format!("t{i}_p90"), t.latency.p90());
+            reg.set(g, &format!("t{i}_p99"), t.latency.p99());
+        }
+    }
+
+    /// The registry JSON of these statistics alone (test/debug helper).
+    pub fn to_registry_json(&self) -> String {
+        let mut reg = StatsRegistry::new();
+        self.export_into(&mut reg);
+        reg.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeStats {
+        let mut s = ServeStats::new(2);
+        s.tenant_mut(0).offered = 3;
+        s.tenant_mut(0).complete(100, None);
+        s.tenant_mut(0).complete(200, Some(FaultCode::PageFault));
+        s.tenant_mut(0).rejects = 2;
+        s.tenant_mut(0).retries = 1;
+        s.tenant_mut(0).timeouts = 1;
+        s.tenant_mut(1).offered = 1;
+        s.tenant_mut(1).complete(4_000, None);
+        s.peak_queue = 5;
+        s.horizon = 10_000;
+        s
+    }
+
+    #[test]
+    fn aggregates_sum_over_tenants() {
+        let s = sample();
+        assert_eq!(s.offered(), 4);
+        assert_eq!(s.completed(), 3);
+        assert_eq!(s.faults(), 1);
+        assert_eq!(s.rejects(), 2);
+        assert_eq!(s.retries(), 1);
+        assert_eq!(s.timeouts(), 1);
+        assert_eq!(s.latency().count(), 3);
+        assert_eq!(s.latency().max(), 4_000);
+        // 3 completions over 10k cycles → 300 per million.
+        assert_eq!(s.throughput_qpmc(), 300);
+        assert_eq!(ServeStats::new(1).throughput_qpmc(), 0);
+    }
+
+    #[test]
+    fn export_writes_aggregate_and_per_tenant_keys() {
+        let s = sample();
+        let mut reg = StatsRegistry::new();
+        s.export_into(&mut reg);
+        assert_eq!(reg.count("serve", "offered"), 4);
+        assert_eq!(reg.count("serve", "completed"), 3);
+        assert_eq!(reg.count("serve", "throughput_qpmc"), 300);
+        assert_eq!(reg.count("serve", "t0_rejects"), 2);
+        assert_eq!(reg.count("serve", "t1_completed"), 1);
+        assert_eq!(reg.count("serve", "t1_p99"), 4_095);
+        assert!(reg.get("serve", "latency").is_some());
+    }
+
+    #[test]
+    fn registry_json_is_stable() {
+        let s = sample();
+        assert_eq!(s.to_registry_json(), s.to_registry_json());
+        assert!(s.to_registry_json().starts_with("{\"serve\":{"));
+    }
+}

@@ -3,7 +3,7 @@
 
 use qei_cache::MemoryHierarchy;
 use qei_config::Cycles;
-use qei_core::{FaultCode, QeiAccelerator};
+use qei_core::{FaultCode, QeiAccelerator, QueryOutcome, QueryRequest, SubmitCtx};
 use qei_cpu::Bus;
 use qei_mem::{GuestMem, MemError, PhysAddr, VirtAddr};
 use qei_workloads::QueryJob;
@@ -120,29 +120,33 @@ impl Bus for QeiBus<'_> {
             return self.accel.nb_drain_time().max(now) + Cycles(1);
         }
         let job = self.jobs[token as usize];
-        let out = self.accel.submit_blocking(
-            now,
-            job.header_addr,
-            job.key_addr,
-            self.guest,
-            &mut self.mem,
+        let out = self.accel.submit(
+            QueryRequest::blocking(job.header_addr, job.key_addr),
+            SubmitCtx::new(now, self.guest, &mut self.mem),
         );
-        self.blocking_results.push((token, out.result));
-        out.completion
+        match out {
+            QueryOutcome::Completed { completion, result } => {
+                self.blocking_results.push((token, result));
+                completion
+            }
+            // A blocking request always runs to completion: the accelerator
+            // never rejects, and `Accepted` only arises for `QUERY_NB`.
+            other => unreachable!("blocking submit returned {other:?}"),
+        }
     }
 
     fn dispatch_nonblocking(&mut self, now: Cycles, token: u32) -> Cycles {
         let job = self.jobs[token as usize];
-        let accept = self.accel.submit_nonblocking(
-            now,
-            job.header_addr,
-            job.key_addr,
-            self.result_buf + token as u64 * 8,
-            self.guest,
-            &mut self.mem,
+        let out = self.accel.submit(
+            QueryRequest::nonblocking(
+                job.header_addr,
+                job.key_addr,
+                self.result_buf + token as u64 * 8,
+            ),
+            SubmitCtx::new(now, self.guest, &mut self.mem),
         );
         self.nb_issued.push(token);
-        accept
+        out.resume_at()
     }
 
     fn drain_time(&self) -> Cycles {

@@ -16,13 +16,14 @@
 //! carries, so plans share no state: running them serially or in parallel,
 //! in any order, produces byte-identical reports.
 
-use crate::report::{QeiRunData, RunReport};
+use crate::report::{QeiRunData, RunReport, ServedRunData};
 use crate::{build_qei_trace_blocking, build_qei_trace_nonblocking, QeiBus, System, NB_BATCH};
 use qei_cache::MemoryHierarchy;
-use qei_config::{Cycles, MachineConfig, Scheme};
-use qei_core::QeiAccelerator;
+use qei_config::{Cycles, LoadSpec, MachineConfig, Scheme};
+use qei_core::{FaultCode, QeiAccelerator, QueryOutcome, QueryRequest, SubmitCtx};
 use qei_cpu::{CoreModel, MemBus, Trace};
-use qei_mem::GuestMem;
+use qei_mem::{GuestMem, VirtAddr};
+use qei_serve::{run_load, QueryBackend};
 use qei_workloads::dpdk::{DpdkFib, TupleSpace};
 use qei_workloads::flann::FlannLsh;
 use qei_workloads::jvm::JvmGc;
@@ -76,6 +77,15 @@ pub enum RunMode {
     /// fetched to the DPU and compared locally (the compare-placement
     /// ablation).
     LocalCompareAblation,
+    /// Open-loop multi-tenant serving: the workload's queries arrive on the
+    /// load pattern's schedule through a bounded admission queue. The plan's
+    /// scheme selects the backend — `None` serves through the calibrated
+    /// software baseline, `Some(scheme)` through the accelerator
+    /// (`load.blocking` picks `QUERY_B` vs `QUERY_NB` + `SNAPSHOT_READ`).
+    Served {
+        /// The arrival process, admission policy, and retry discipline.
+        load: LoadSpec,
+    },
 }
 
 impl RunMode {
@@ -93,10 +103,13 @@ impl RunMode {
             RunMode::QeiBlocking => "qei-blocking",
             RunMode::QeiNonblocking { .. } => "qei-nonblocking",
             RunMode::LocalCompareAblation => "qei-local-compare",
+            RunMode::Served { .. } => "served",
         }
     }
 
-    /// Whether this mode drives the accelerator at all.
+    /// Whether this mode drives the accelerator at all. A served run only
+    /// does when its plan carries a scheme; without one it serves through
+    /// the calibrated software baseline.
     pub fn uses_qei(&self) -> bool {
         !matches!(self, RunMode::Baseline)
     }
@@ -106,6 +119,7 @@ impl std::fmt::Display for RunMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunMode::QeiNonblocking { batch } => write!(f, "qei-nonblocking(batch={batch})"),
+            RunMode::Served { load } => write!(f, "served({})", load.tag()),
             other => f.write_str(other.label()),
         }
     }
@@ -295,12 +309,33 @@ pub struct RunPlan {
 }
 
 impl RunPlan {
+    /// Starts a builder over `workload` — the declarative way the
+    /// experiment constructors assemble plans instead of hand-writing
+    /// struct literals. Defaults to the software baseline with no
+    /// overrides.
+    pub fn for_workload(workload: WorkloadSpec) -> RunPlanBuilder {
+        RunPlanBuilder {
+            plan: RunPlan::baseline(workload),
+        }
+    }
+
     /// A software-baseline plan.
     pub fn baseline(workload: WorkloadSpec) -> Self {
         RunPlan {
             workload,
             mode: RunMode::Baseline,
             scheme: None,
+            overrides: ConfigOverrides::none(),
+        }
+    }
+
+    /// A served (open-loop load) plan; `scheme` `None` serves through the
+    /// calibrated software baseline.
+    pub fn served(workload: WorkloadSpec, scheme: Option<Scheme>, load: LoadSpec) -> Self {
+        RunPlan {
+            workload,
+            mode: RunMode::Served { load },
+            scheme,
             overrides: ConfigOverrides::none(),
         }
     }
@@ -383,6 +418,60 @@ impl RunPlan {
             tag.push_str(&format!("+tlb{v}"));
         }
         tag
+    }
+}
+
+/// Builds a [`RunPlan`] fluently: [`RunPlan::for_workload`] starts from the
+/// software baseline, then [`mode`](RunPlanBuilder::mode),
+/// [`scheme`](RunPlanBuilder::scheme), and
+/// [`override_with`](RunPlanBuilder::override_with) refine it.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPlanBuilder {
+    plan: RunPlan,
+}
+
+impl RunPlanBuilder {
+    /// Sets how the ROI executes.
+    pub fn mode(mut self, mode: RunMode) -> Self {
+        self.plan.mode = mode;
+        self
+    }
+
+    /// Sets the integration scheme (required for QEI modes; optional for
+    /// served runs, where it selects the accelerator backend).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.plan.scheme = Some(scheme);
+        self
+    }
+
+    /// Replaces the plan's machine-configuration overrides.
+    pub fn override_with(mut self, overrides: ConfigOverrides) -> Self {
+        self.plan.overrides = overrides;
+        self
+    }
+
+    /// Finishes the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a QEI mode was selected without a scheme — that plan could
+    /// never execute, so it fails at build time instead of run time.
+    pub fn build(self) -> RunPlan {
+        let needs_scheme = matches!(
+            self.plan.mode,
+            RunMode::QeiBlocking | RunMode::QeiNonblocking { .. } | RunMode::LocalCompareAblation
+        );
+        assert!(
+            !needs_scheme || self.plan.scheme.is_some(),
+            "QEI modes require a scheme"
+        );
+        self.plan
+    }
+}
+
+impl From<RunPlanBuilder> for RunPlan {
+    fn from(b: RunPlanBuilder) -> Self {
+        b.build()
     }
 }
 
@@ -627,6 +716,9 @@ impl Engine {
                 let trace = build_qei_trace_nonblocking(workload, batch);
                 Self::execute_qei(sys, workload, mode, scheme, trace, build, tag)
             }
+            RunMode::Served { load } => {
+                Self::execute_served(sys, workload, load, scheme, build, tag)
+            }
         }
     }
 
@@ -785,6 +877,242 @@ impl Engine {
         Self::emit_profile(&report, build, warmup, measured, phase.elapsed());
         report
     }
+
+    /// Serves the workload's queries under the open-loop load pattern.
+    /// Scheme `None` routes through the calibrated software baseline,
+    /// `Some` through the accelerator.
+    fn execute_served(
+        sys: &mut System,
+        workload: &dyn Workload,
+        load: LoadSpec,
+        scheme: Option<Scheme>,
+        build: Duration,
+        tag: &str,
+    ) -> RunReport {
+        assert!(
+            !workload.jobs().is_empty(),
+            "served runs need a nonempty job list"
+        );
+        match scheme {
+            Some(scheme) => Self::execute_served_qei(sys, workload, load, scheme, build, tag),
+            None => Self::execute_served_software(sys, workload, load, build, tag),
+        }
+    }
+
+    /// Served run over the software baseline: prices the baseline ROI once
+    /// (warm-up + measured, exactly like [`Engine::execute_baseline`]) to
+    /// calibrate an integer per-query service time, then serves the load
+    /// through a single-server queue at that rate.
+    fn execute_served_software(
+        sys: &mut System,
+        workload: &dyn Workload,
+        load: LoadSpec,
+        build: Duration,
+        tag: &str,
+    ) -> RunReport {
+        let phase = Instant::now();
+        let mut trace = Trace::new();
+        let results = workload.baseline_trace(sys.guest(), &mut trace);
+        assert_eq!(
+            results,
+            workload.expected(),
+            "baseline functional mismatch in {}",
+            workload.name()
+        );
+        let mut bus = MemBus::new(MemoryHierarchy::new(sys.config()), sys.guest().space());
+        let mut core = CoreModel::new(sys.config(), sys.core_id());
+        let _ = core.run(&trace, &mut bus);
+        let _ = core.drain_trace();
+        let _ = bus.mem.drain_trace();
+        let warmup = phase.elapsed();
+        let phase = Instant::now();
+        bus.mem.reset_epoch();
+        let run = core.run(&trace, &mut bus);
+        // Calibration events belong to the pricing pass, not the served run.
+        let _ = core.drain_trace();
+        let _ = bus.mem.drain_trace();
+        let service = (run.cycles / workload.jobs().len() as u64).max(1);
+
+        let mut backend = CalibratedBackend {
+            service,
+            free_at: 0,
+            expected: workload.expected(),
+        };
+        let mut events = qei_trace::EventBuf::new();
+        let serve = run_load(
+            &load,
+            workload.jobs().len() as u32,
+            &mut backend,
+            &mut events,
+        );
+        let measured = phase.elapsed();
+
+        let phase = Instant::now();
+        let mode = RunMode::Served { load };
+        Self::collect_trace(
+            format!("{}/{mode}/sw/{tag}", workload.name()),
+            vec![events.drain()],
+        );
+        let report = RunReport::from_served(
+            workload,
+            mode,
+            None,
+            ServedRunData {
+                serve,
+                mem: bus.mem.stats(),
+                accel: None,
+                noc: None,
+                qst_occupancy: 0.0,
+            },
+        );
+        Self::emit_profile(&report, build, warmup, measured, phase.elapsed());
+        report
+    }
+
+    /// Served run over the accelerator: the admission loop submits each
+    /// admitted query through the redesigned submit API at its admission
+    /// cycle. A full warm-up pass of the same load runs first so caches and
+    /// accelerator TLBs are in steady state, then the epoch resets and the
+    /// measured pass replays the identical arrival stream.
+    fn execute_served_qei(
+        sys: &mut System,
+        workload: &dyn Workload,
+        load: LoadSpec,
+        scheme: Scheme,
+        build: Duration,
+        tag: &str,
+    ) -> RunReport {
+        let phase = Instant::now();
+        let n_jobs = workload.jobs().len();
+        let result_buf = sys
+            .guest_mut()
+            .alloc((n_jobs * 8) as u64, 64)
+            .unwrap_or_else(|e| panic!("guest alloc for NB results failed: {e}"));
+        let config = sys.config().clone();
+        let jobs = workload.jobs().to_vec();
+        let expected = workload.expected().to_vec();
+        let mut backend = QeiServeBackend {
+            accel: QeiAccelerator::new(&config, scheme, sys.core_id()),
+            mem: MemoryHierarchy::new(&config),
+            guest: sys.guest_mut(),
+            jobs,
+            expected,
+            result_buf,
+            blocking: load.blocking,
+            workload: workload.name(),
+        };
+
+        let mut scratch = qei_trace::EventBuf::new();
+        let _ = run_load(&load, n_jobs as u32, &mut backend, &mut scratch);
+        let _ = backend.accel.drain_trace();
+        let _ = backend.mem.drain_trace();
+        let warmup = phase.elapsed();
+        let phase = Instant::now();
+        backend.accel.reset_epoch();
+        backend.mem.reset_epoch();
+        let mut events = qei_trace::EventBuf::new();
+        let serve = run_load(&load, n_jobs as u32, &mut backend, &mut events);
+        let measured = phase.elapsed();
+
+        let phase = Instant::now();
+        let mode = RunMode::Served { load };
+        Self::collect_trace(
+            format!("{}/{mode}/{scheme}/{tag}", workload.name()),
+            vec![
+                events.drain(),
+                backend.accel.drain_trace(),
+                backend.mem.drain_trace(),
+            ],
+        );
+        let occupancy = backend.accel.qst_occupancy(Cycles(serve.horizon.max(1)));
+        let report = RunReport::from_served(
+            workload,
+            mode,
+            Some(scheme),
+            ServedRunData {
+                serve,
+                mem: backend.mem.stats(),
+                accel: Some(backend.accel.stats()),
+                noc: Some(*backend.mem.noc().stats()),
+                qst_occupancy: occupancy,
+            },
+        );
+        Self::emit_profile(&report, build, warmup, measured, phase.elapsed());
+        report
+    }
+}
+
+/// The served software backend: a single-server queue at the calibrated
+/// baseline rate, answering from the workload's ground truth.
+struct CalibratedBackend<'a> {
+    /// Calibrated integer service cycles per query.
+    service: u64,
+    /// When the server frees up.
+    free_at: u64,
+    expected: &'a [u64],
+}
+
+impl QueryBackend for CalibratedBackend<'_> {
+    fn execute(&mut self, start: Cycles, job: u32) -> (Cycles, Result<u64, FaultCode>) {
+        let begin = self.free_at.max(start.as_u64());
+        self.free_at = begin + self.service;
+        (Cycles(self.free_at), Ok(self.expected[job as usize]))
+    }
+}
+
+/// The served accelerator backend: each admitted query goes through
+/// [`QeiAccelerator::submit`] at its admission cycle — `QUERY_B` when the
+/// load pattern is blocking, `QUERY_NB` with a result-buffer store
+/// otherwise. Results verify against the workload's ground truth inline.
+struct QeiServeBackend<'a> {
+    accel: QeiAccelerator,
+    mem: MemoryHierarchy,
+    guest: &'a mut GuestMem,
+    jobs: Vec<qei_workloads::QueryJob>,
+    expected: Vec<u64>,
+    result_buf: VirtAddr,
+    blocking: bool,
+    workload: &'static str,
+}
+
+impl QueryBackend for QeiServeBackend<'_> {
+    fn execute(&mut self, start: Cycles, job: u32) -> (Cycles, Result<u64, FaultCode>) {
+        let j = self.jobs[job as usize];
+        let exp = self.expected[job as usize];
+        if self.blocking {
+            let out = self.accel.submit(
+                QueryRequest::blocking(j.header_addr, j.key_addr),
+                SubmitCtx::new(start, self.guest, &mut self.mem),
+            );
+            let QueryOutcome::Completed { completion, result } = out else {
+                unreachable!("blocking submit returned {out:?}")
+            };
+            if let Ok(v) = result {
+                assert_eq!(
+                    v, exp,
+                    "served QEI functional mismatch in {}",
+                    self.workload
+                );
+            }
+            (completion, result)
+        } else {
+            let slot = self.result_buf + job as u64 * 8;
+            let out = self.accel.submit(
+                QueryRequest::nonblocking(j.header_addr, j.key_addr, slot),
+                SubmitCtx::new(start, self.guest, &mut self.mem),
+            );
+            let QueryOutcome::Accepted { done, .. } = out else {
+                unreachable!("non-blocking submit returned {out:?}")
+            };
+            let wire = self.guest.read_u64(slot).unwrap_or(u64::MAX);
+            assert!(
+                wire == exp || (exp == 0 && wire == 1),
+                "served QEI functional mismatch in {}: wire {wire} vs expected {exp}",
+                self.workload
+            );
+            (done, Ok(wire))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -814,6 +1142,116 @@ mod tests {
         assert_eq!(nb.mode, RunMode::QeiNonblocking { batch: 16 });
         let lc = RunPlan::local_compare(spec, Scheme::CoreIntegrated);
         assert_eq!(lc.mode, RunMode::LocalCompareAblation);
+    }
+
+    #[test]
+    fn builder_matches_the_direct_constructors() {
+        let spec = jvm_spec();
+        assert_eq!(RunPlan::for_workload(spec).build(), RunPlan::baseline(spec));
+        assert_eq!(
+            RunPlan::for_workload(spec)
+                .mode(RunMode::QeiBlocking)
+                .scheme(Scheme::ChaTlb)
+                .build(),
+            RunPlan::qei(spec, Scheme::ChaTlb)
+        );
+        let overrides = ConfigOverrides {
+            qst_entries: Some(8),
+            ..ConfigOverrides::none()
+        };
+        assert_eq!(
+            RunPlan::for_workload(spec)
+                .mode(RunMode::QeiNonblocking { batch: 16 })
+                .scheme(Scheme::DeviceDirect)
+                .override_with(overrides)
+                .build(),
+            RunPlan::qei_nonblocking(spec, Scheme::DeviceDirect, 16).with_overrides(overrides)
+        );
+        let load = LoadSpec::default();
+        let plan: RunPlan = RunPlan::for_workload(spec)
+            .mode(RunMode::Served { load })
+            .scheme(Scheme::CoreIntegrated)
+            .build();
+        assert_eq!(
+            plan,
+            RunPlan::served(spec, Some(Scheme::CoreIntegrated), load)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "QEI modes require a scheme")]
+    fn builder_rejects_qei_mode_without_scheme() {
+        let _ = RunPlan::for_workload(jvm_spec())
+            .mode(RunMode::QeiBlocking)
+            .build();
+    }
+
+    fn small_load() -> LoadSpec {
+        LoadSpec {
+            tenants: 2,
+            mean_interarrival: 2_000,
+            arrivals_per_tenant: 24,
+            queue_depth: 8,
+            ..LoadSpec::default()
+        }
+    }
+
+    #[test]
+    fn served_software_run_reports_serve_stats() {
+        let engine = Engine::paper();
+        let r = engine.run(&RunPlan::served(jvm_spec(), None, small_load()));
+        assert_eq!(r.mode.label(), "served");
+        assert_eq!(r.scheme, None);
+        assert_eq!(r.stats.count("serve", "offered"), 48);
+        assert!(r.stats.count("serve", "completed") > 0);
+        assert!(r.stats.count("serve", "latency_p99") > 0);
+        assert!(r.stats.get("run", "load").is_some());
+        assert_eq!(r.cycles, r.stats.count("serve", "horizon_cycles"));
+    }
+
+    #[test]
+    fn served_qei_sustains_more_throughput_under_saturation() {
+        // At a saturating arrival rate the single-server software baseline
+        // serializes while the accelerator overlaps queries across QST
+        // slots — the throughput knee the load sweep renders.
+        let engine = Engine::paper();
+        let spec = jvm_spec();
+        // Queue depth must exceed the software server's one-at-a-time
+        // capacity for the accelerator's QST concurrency to show.
+        let load = LoadSpec {
+            mean_interarrival: 100,
+            queue_depth: 32,
+            ..small_load()
+        };
+        let sw = engine.run(&RunPlan::served(spec, None, load));
+        let qei = engine.run(&RunPlan::served(spec, Some(Scheme::CoreIntegrated), load));
+        let again = engine.run(&RunPlan::served(spec, Some(Scheme::CoreIntegrated), load));
+        assert_eq!(qei.to_json(), again.to_json());
+        assert!(qei.accel.is_some());
+        assert_eq!(
+            qei.stats.count("serve", "offered"),
+            sw.stats.count("serve", "offered")
+        );
+        assert!(
+            qei.stats.count("serve", "throughput_qpmc")
+                > sw.stats.count("serve", "throughput_qpmc"),
+            "qei {} qpmc vs software {} qpmc",
+            qei.stats.count("serve", "throughput_qpmc"),
+            sw.stats.count("serve", "throughput_qpmc")
+        );
+    }
+
+    #[test]
+    fn served_nonblocking_run_verifies_and_reports() {
+        let engine = Engine::paper();
+        let load = LoadSpec {
+            blocking: false,
+            ..small_load()
+        };
+        let r = engine.run(&RunPlan::served(jvm_spec(), Some(Scheme::ChaTlb), load));
+        assert!(r.stats.count("serve", "completed") > 0);
+        // Client-observed latencies are quantized to SNAPSHOT_READ polls.
+        assert!(r.stats.count("serve", "latency_p50") > 0);
     }
 
     #[test]

@@ -24,8 +24,10 @@ pub mod engine;
 pub mod report;
 
 pub use bus::QeiBus;
-pub use engine::{ConfigOverrides, Engine, RunMode, RunPlan, WorkloadKind, WorkloadSpec};
-pub use report::{QeiRunData, RunReport};
+pub use engine::{
+    ConfigOverrides, Engine, RunMode, RunPlan, RunPlanBuilder, WorkloadKind, WorkloadSpec,
+};
+pub use report::{QeiRunData, RunReport, ServedRunData};
 
 use qei_config::MachineConfig;
 use qei_cpu::Trace;

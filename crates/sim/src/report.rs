@@ -6,6 +6,7 @@ use qei_config::{Scheme, StatsRegistry};
 use qei_core::AccelStats;
 use qei_cpu::RunResult;
 use qei_noc::NocStats;
+use qei_serve::ServeStats;
 use qei_workloads::Workload;
 
 /// The raw measurements of one QEI run, bundled for [`RunReport::from_qei`].
@@ -21,6 +22,24 @@ pub struct QeiRunData {
     pub qst_occupancy: f64,
     /// NoC traffic totals.
     pub noc: NocStats,
+}
+
+/// The raw measurements of one served (open-loop load) run, bundled for
+/// [`RunReport::from_served`]. The accelerator-side fields are `None` when
+/// the run served through the calibrated software baseline.
+#[derive(Debug, Clone)]
+pub struct ServedRunData {
+    /// Serving-layer statistics (per-tenant latency, admission outcomes).
+    pub serve: ServeStats,
+    /// Memory-hierarchy access counts (the calibration pass's for software
+    /// serving, the serve loop's for QEI serving).
+    pub mem: MemStats,
+    /// Accelerator statistics (QEI serving only).
+    pub accel: Option<AccelStats>,
+    /// NoC traffic totals (QEI serving only).
+    pub noc: Option<NocStats>,
+    /// Mean QST occupancy over the served horizon (QEI serving only).
+    pub qst_occupancy: f64,
 }
 
 /// The outcome of one priced run (baseline or QEI).
@@ -162,6 +181,56 @@ impl RunReport {
             accel: Some(data.accel),
             qst_occupancy: data.qst_occupancy,
             noc_bytes: data.noc.bytes,
+            correct: true,
+            non_roi_work_per_query: workload.non_roi_work_per_query(),
+            stats,
+        }
+    }
+
+    /// Builds a report for a served (open-loop load) run. `cycles` is the
+    /// served horizon (first arrival to last observed result) and `queries`
+    /// the offered load, so throughput math stays meaningful.
+    pub fn from_served(
+        workload: &dyn Workload,
+        mode: RunMode,
+        scheme: Option<Scheme>,
+        data: ServedRunData,
+    ) -> Self {
+        let mut stats = StatsRegistry::new();
+        run_group(
+            &mut stats,
+            workload,
+            mode,
+            scheme,
+            data.serve.horizon,
+            data.serve.offered(),
+        );
+        if let RunMode::Served { load } = mode {
+            stats.set("run", "load", load.tag());
+        }
+        if data.accel.is_some() {
+            stats.set("run", "qst_occupancy", data.qst_occupancy);
+        }
+        data.serve.export_into(&mut stats);
+        data.mem.export_stats(&mut stats);
+        if let Some(accel) = data.accel {
+            accel.export_stats(&mut stats);
+        }
+        if let Some(noc) = data.noc {
+            noc.export_stats(&mut stats);
+        }
+        RunReport {
+            workload: workload.name(),
+            mode,
+            scheme,
+            cycles: data.serve.horizon,
+            uops: 0,
+            queries: data.serve.offered(),
+            run: RunResult::default(),
+            mem: data.mem,
+            accel: data.accel,
+            qst_occupancy: data.qst_occupancy,
+            noc_bytes: data.noc.map_or(0, |n| n.bytes),
             correct: true,
             non_roi_work_per_query: workload.non_roi_work_per_query(),
             stats,

@@ -38,6 +38,9 @@ pub const TRACK_CACHE: u32 = 64;
 pub const TRACK_NOC: u32 = 65;
 /// Track id carrying query issue/completion events (the submit port).
 pub const TRACK_ISSUE: u32 = 66;
+/// Track id carrying serving-layer admission events (enqueue/admit/reject/
+/// retry from the open-loop load generator).
+pub const TRACK_SERVE: u32 = 67;
 
 /// Track id of one QST entry: instance-major, 256 slots reserved per
 /// instance (the largest evaluated QST — the Device schemes' `10 × cores`
@@ -75,11 +78,24 @@ pub enum EventKind {
     /// The core's dispatch stalled (`a` = 0 frontend, 1 backend-memory,
     /// 2 backend-core; `b` = stall cycles).
     CpuStall,
+    /// An open-loop arrival reached the admission queue (`a` = tenant,
+    /// `b` = arrival seq). New variants append after `CpuStall` so the
+    /// derived sort order of pre-existing kinds never changes.
+    ServeEnqueue,
+    /// The admission queue admitted a query to the accelerator (`a` =
+    /// tenant, `b` = admission wait in cycles).
+    ServeAdmit,
+    /// The admission queue refused a query — bounded queue full under a
+    /// reject/tail-drop policy (`a` = tenant, `b` = attempt number).
+    ServeReject,
+    /// A rejected client scheduled a backoff retry (`a` = tenant, `b` =
+    /// retry cycle).
+    ServeRetry,
 }
 
 impl EventKind {
     /// All kinds, in sort order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::QueryIssue,
         EventKind::QstClaim,
         EventKind::QstRelease,
@@ -90,6 +106,10 @@ impl EventKind {
         EventKind::CacheEvict,
         EventKind::NocHop,
         EventKind::CpuStall,
+        EventKind::ServeEnqueue,
+        EventKind::ServeAdmit,
+        EventKind::ServeReject,
+        EventKind::ServeRetry,
     ];
 
     /// Stable short name (the Chrome event `name` field).
@@ -105,6 +125,10 @@ impl EventKind {
             EventKind::CacheEvict => "cache_evict",
             EventKind::NocHop => "noc_hop",
             EventKind::CpuStall => "cpu_stall",
+            EventKind::ServeEnqueue => "serve_enqueue",
+            EventKind::ServeAdmit => "serve_admit",
+            EventKind::ServeReject => "serve_reject",
+            EventKind::ServeRetry => "serve_retry",
         }
     }
 

@@ -42,23 +42,23 @@ fn main() {
     let mut hierarchy = qei::cache::MemoryHierarchy::new(sys.config());
     let mut accel = QeiAccelerator::new(sys.config(), Scheme::CoreIntegrated, 0);
     let key2 = stage_key(sys.guest_mut(), b"user-sess-000777");
-    let out = accel.submit_blocking(
-        Cycles(0),
-        table.header_addr(),
-        key2,
-        sys.guest_mut(),
-        &mut hierarchy,
-    );
+    let (completion, result) = accel
+        .submit(
+            QueryRequest::blocking(table.header_addr(), key2),
+            SubmitCtx::new(Cycles(0), sys.guest_mut(), &mut hierarchy),
+        )
+        .completed()
+        .expect("blocking submit completes");
     println!(
         "QUERY_B user-sess-000777 -> {:?} in {} (scheme: {})",
-        out.result,
-        out.completion,
+        result,
+        completion,
         accel.scheme()
     );
-    assert_eq!(out.result, Ok(1_777));
+    assert_eq!(result, Ok(1_777));
 
     // 5. The accelerator and the plain software walk always agree.
     let sw = table.query_software(sys.guest(), b"user-sess-000777");
-    assert_eq!(out.result.unwrap(), sw);
+    assert_eq!(result.expect("query succeeded"), sw);
     println!("software baseline agrees: {sw}");
 }

@@ -41,6 +41,7 @@
 //! | [`accel`] | `qei-core` | **the QEI accelerator** |
 //! | [`datastructs`] | `qei-datastructs` | guest data structures + baselines |
 //! | [`workloads`] | `qei-workloads` | the five paper benchmarks |
+//! | [`serve`] | `qei-serve` | open-loop multi-tenant serving layer |
 //! | [`sim`] | `qei-sim` | co-simulation driver |
 //! | [`power`] | `qei-power` | area/leakage/dynamic-energy model |
 //! | [`experiments`] | `qei-experiments` | every table and figure |
@@ -54,23 +55,27 @@ pub use qei_experiments as experiments;
 pub use qei_mem as mem;
 pub use qei_noc as noc;
 pub use qei_power as power;
+pub use qei_serve as serve;
 pub use qei_sim as sim;
 pub use qei_trace as trace;
 pub use qei_workloads as workloads;
 
 /// The items most programs need, in one import.
 pub mod prelude {
-    pub use qei_config::{Cycles, MachineConfig, Scheme};
+    pub use qei_config::{AdmissionPolicy, Cycles, LoadSpec, MachineConfig, Scheme};
     pub use qei_core::{
-        run_query, DsType, FaultCode, FirmwareStore, Header, QeiAccelerator, RESULT_NOT_FOUND,
+        run_query, DsType, FaultCode, FirmwareStore, Header, QeiAccelerator, QueryError,
+        QueryOutcome, QueryRequest, SubmitCtx, RESULT_NOT_FOUND,
     };
     pub use qei_datastructs::{
         stage_key, AcTrie, BPlusTree, Bst, ChainedHash, CuckooHash, LinkedList, LpmTrie, QueryDs,
         SkipList,
     };
     pub use qei_mem::{GuestMem, VirtAddr};
+    pub use qei_serve::ServeStats;
     pub use qei_sim::{
-        ConfigOverrides, Engine, RunMode, RunPlan, RunReport, System, WorkloadKind, WorkloadSpec,
+        ConfigOverrides, Engine, RunMode, RunPlan, RunPlanBuilder, RunReport, System, WorkloadKind,
+        WorkloadSpec,
     };
     pub use qei_workloads::{QueryJob, Workload};
 }

@@ -143,6 +143,24 @@ fn serial_and_parallel_engines_produce_identical_reports() {
             plans.push(RunPlan::qei(spec, scheme));
         }
         plans.push(RunPlan::qei_nonblocking(spec, Scheme::ChaTlb, 16));
+        // Served plans ride the same contract: software-calibrated backend,
+        // blocking QEI, and polled non-blocking QEI.
+        let load = LoadSpec {
+            tenants: 2,
+            mean_interarrival: 500,
+            arrivals_per_tenant: 24,
+            ..LoadSpec::default()
+        };
+        plans.push(RunPlan::served(spec, None, load));
+        plans.push(RunPlan::served(spec, Some(Scheme::CoreIntegrated), load));
+        plans.push(RunPlan::served(
+            spec,
+            Some(Scheme::ChaTlb),
+            LoadSpec {
+                blocking: false,
+                ..load
+            },
+        ));
     }
     let serial = Engine::paper().with_threads(1).run_all(&plans);
     let parallel = Engine::paper().with_threads(4).run_all(&plans);
@@ -152,4 +170,33 @@ fn serial_and_parallel_engines_produce_identical_reports() {
         assert_eq!(s.workload, p.workload, "plan {i} order drifted");
         assert_eq!(s.to_json(), p.to_json(), "plan {i} diverged");
     }
+}
+
+#[test]
+fn served_reports_are_stable_across_engines_and_repeats() {
+    // A served run's report is a pure function of (spec, load, scheme):
+    // repeated invocations and fresh engines agree byte-for-byte, and the
+    // serve group carries the admission accounting.
+    let spec = dpdk(400, 60, 3, 11);
+    let load = LoadSpec {
+        tenants: 3,
+        mean_interarrival: 200,
+        arrivals_per_tenant: 30,
+        queue_depth: 8,
+        ..LoadSpec::default()
+    };
+    let plan = RunPlan::served(spec, Some(Scheme::CoreIntegrated), load);
+    let a = Engine::paper().run(&plan);
+    let b = Engine::paper().run(&plan);
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.stats.count("serve", "offered"), 90);
+    assert_eq!(
+        a.stats.count("serve", "completed")
+            + a.stats.count("serve", "drops")
+            + a.stats.count("serve", "timeouts"),
+        90
+    );
+    // Fault and reject accounting stay distinct registry keys.
+    assert!(a.stats.get("serve", "faults").is_some());
+    assert!(a.stats.get("serve", "rejects").is_some());
 }

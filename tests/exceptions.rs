@@ -11,6 +11,24 @@ fn machine() -> (MachineConfig, GuestMem, MemoryHierarchy) {
     (config, guest, hier)
 }
 
+/// Blocking submit through the typed API; panics unless it completed.
+fn submit_b(
+    accel: &mut QeiAccelerator,
+    now: Cycles,
+    ha: VirtAddr,
+    ka: VirtAddr,
+    guest: &mut GuestMem,
+    hier: &mut MemoryHierarchy,
+) -> (Cycles, Result<u64, FaultCode>) {
+    accel
+        .submit(
+            QueryRequest::blocking(ha, ka),
+            SubmitCtx::new(now, guest, hier),
+        )
+        .completed()
+        .unwrap()
+}
+
 fn list_with_items(guest: &mut GuestMem, n: u64) -> LinkedList {
     let mut list = LinkedList::new(guest, 8).unwrap();
     for i in 0..n {
@@ -39,8 +57,8 @@ fn unmapped_structure_pointer_raises_page_fault() {
     let ka = stage_key(&mut guest, b"whatever");
 
     let mut accel = QeiAccelerator::new(&config, Scheme::CoreIntegrated, 0);
-    let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
-    assert_eq!(out.result, Err(FaultCode::PageFault));
+    let (_, result) = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
+    assert_eq!(result, Err(FaultCode::PageFault));
     assert_eq!(accel.stats().faults, 1);
 }
 
@@ -73,8 +91,8 @@ fn corrupt_cyclic_structure_trips_the_watchdog() {
     let ka = stage_key(&mut guest, b"absent!!");
 
     let mut accel = QeiAccelerator::new(&config, Scheme::ChaTlb, 0);
-    let out = accel.submit_blocking(Cycles(0), ha, ka, &mut guest, &mut hier);
-    assert_eq!(out.result, Err(FaultCode::StepLimit));
+    let (_, result) = submit_b(&mut accel, Cycles(0), ha, ka, &mut guest, &mut hier);
+    assert_eq!(result, Err(FaultCode::StepLimit));
 }
 
 #[test]
@@ -90,8 +108,15 @@ fn malformed_headers_are_rejected_before_any_walk() {
     let ka = stage_key(&mut guest, b"k0000001");
 
     let mut accel = QeiAccelerator::new(&config, Scheme::DeviceDirect, 0);
-    let out = accel.submit_blocking(Cycles(0), list.header_addr(), ka, &mut guest, &mut hier);
-    assert_eq!(out.result, Err(FaultCode::MalformedHeader));
+    let (_, result) = submit_b(
+        &mut accel,
+        Cycles(0),
+        list.header_addr(),
+        ka,
+        &mut guest,
+        &mut hier,
+    );
+    assert_eq!(result, Err(FaultCode::MalformedHeader));
 }
 
 #[test]
@@ -107,13 +132,9 @@ fn interrupt_flush_aborts_nonblocking_queries_and_reissue_succeeds() {
     for i in 0..8u64 {
         let ka = stage_key(&mut guest, format!("k{:07}", 63 - i).as_bytes());
         keys.push((ka, 64 - i));
-        accel.submit_nonblocking(
-            Cycles(0),
-            list.header_addr(),
-            ka,
-            results + i * 8,
-            &mut guest,
-            &mut hier,
+        accel.submit(
+            QueryRequest::nonblocking(list.header_addr(), ka, results + i * 8),
+            SubmitCtx::new(Cycles(0), &mut guest, &mut hier),
         );
     }
     let flush_done = accel.flush(Cycles(1), &mut guest);
@@ -129,13 +150,9 @@ fn interrupt_flush_aborts_nonblocking_queries_and_reissue_succeeds() {
 
     // Software reissues after interrupt handling; everything completes.
     for (i, (ka, expect)) in keys.iter().enumerate() {
-        accel.submit_nonblocking(
-            flush_done,
-            list.header_addr(),
-            *ka,
-            results + i as u64 * 8,
-            &mut guest,
-            &mut hier,
+        accel.submit(
+            QueryRequest::nonblocking(list.header_addr(), *ka, results + i as u64 * 8),
+            SubmitCtx::new(flush_done, &mut guest, &mut hier),
         );
         let wire = guest.read_u64(results + i as u64 * 8).unwrap();
         assert_eq!(wire, *expect);
@@ -148,10 +165,18 @@ fn blocking_queries_after_flush_start_clean() {
     let list = list_with_items(&mut guest, 16);
     let mut accel = QeiAccelerator::new(&config, Scheme::CoreIntegrated, 0);
     let ka = stage_key(&mut guest, b"k0000003");
-    let first = accel.submit_blocking(Cycles(0), list.header_addr(), ka, &mut guest, &mut hier);
-    assert_eq!(first.result, Ok(4));
-    let t = accel.flush(first.completion, &mut guest);
-    let second = accel.submit_blocking(t, list.header_addr(), ka, &mut guest, &mut hier);
-    assert_eq!(second.result, Ok(4));
-    assert!(second.completion > t);
+    let (first_done, first) = submit_b(
+        &mut accel,
+        Cycles(0),
+        list.header_addr(),
+        ka,
+        &mut guest,
+        &mut hier,
+    );
+    assert_eq!(first, Ok(4));
+    let t = accel.flush(first_done, &mut guest);
+    let (second_done, second) =
+        submit_b(&mut accel, t, list.header_addr(), ka, &mut guest, &mut hier);
+    assert_eq!(second, Ok(4));
+    assert!(second_done > t);
 }

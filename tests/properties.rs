@@ -168,9 +168,14 @@ fn timing_walk_matches_functional_engine_across_schemes() {
                 let key = key8(p);
                 let ka = stage_key(&mut mem, &key);
                 let expected = run_query(&fw, &mem, table.header_addr(), ka);
-                let out =
-                    accel.submit_blocking(Cycles(0), table.header_addr(), ka, &mut mem, &mut hier);
-                assert_eq!(out.result, expected, "case {case}, scheme {scheme:?}");
+                let (_, result) = accel
+                    .submit(
+                        QueryRequest::blocking(table.header_addr(), ka),
+                        SubmitCtx::new(Cycles(0), &mut mem, &mut hier),
+                    )
+                    .completed()
+                    .unwrap();
+                assert_eq!(result, expected, "case {case}, scheme {scheme:?}");
             }
         }
     }

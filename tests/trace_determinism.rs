@@ -26,6 +26,28 @@ fn chrome_export_is_identical_across_thread_counts() {
         RunPlan::qei(spec, Scheme::CoreIntegrated),
         RunPlan::qei(spec, Scheme::ChaTlb),
         RunPlan::qei_nonblocking(spec, Scheme::DeviceIndirect, 16),
+        // Served plans must collect a RunTrace too (admission events plus
+        // the accelerator's own events for the QEI-backed run).
+        RunPlan::served(
+            spec,
+            Some(Scheme::CoreIntegrated),
+            LoadSpec {
+                tenants: 2,
+                mean_interarrival: 400,
+                arrivals_per_tenant: 20,
+                ..LoadSpec::default()
+            },
+        ),
+        RunPlan::served(
+            spec,
+            None,
+            LoadSpec {
+                tenants: 2,
+                mean_interarrival: 400,
+                arrivals_per_tenant: 20,
+                ..LoadSpec::default()
+            },
+        ),
     ];
 
     trace::set_tracing(true);

@@ -218,18 +218,19 @@ pub struct Rule {
 
 /// Crates whose code *is* the simulated machine: iteration order and float
 /// rounding inside them change published numbers.
-const SIM_STATE_CRATES: [&str; 6] = [
+const SIM_STATE_CRATES: [&str; 7] = [
     "crates/sim/",
     "crates/cache/",
     "crates/mem/",
     "crates/core/",
     "crates/noc/",
     "crates/trace/",
+    "crates/serve/",
 ];
 
 /// Crates on the path from simulation to the figures in the paper: a panic
 /// here kills a sweep and eats its partial results.
-const REPORT_CRATES: [&str; 9] = [
+const REPORT_CRATES: [&str; 10] = [
     "crates/core/",
     "crates/sim/",
     "crates/cache/",
@@ -239,6 +240,7 @@ const REPORT_CRATES: [&str; 9] = [
     "crates/power/",
     "crates/experiments/",
     "crates/trace/",
+    "crates/serve/",
 ];
 
 fn in_any(path: &str, prefixes: &[&str]) -> bool {
