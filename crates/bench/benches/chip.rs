@@ -1,0 +1,61 @@
+//! Micro-benches of the multi-core chip: tenant sharding on the admission
+//! hot path, and the full served pipeline at one lane vs. a four-lane chip
+//! (two passes, slice arbitration, cycle-ordered merge). Results land in
+//! `BENCH_chip.json`; run with `-- --check <baseline>` to gate on
+//! regressions.
+
+use qei_bench::BenchSuite;
+use qei_config::{LoadSpec, Scheme};
+use qei_serve::lane_of_tenant;
+use qei_sim::{Engine, RunPlan, WorkloadKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_sharding(suite: &mut BenchSuite) {
+    // The per-arrival cost of routing a tenant to its lane — this sits on
+    // every admission decision of a multi-core run.
+    let mut tenant = 0u32;
+    suite.bench("shard/lane_of_tenant", || {
+        tenant = tenant.wrapping_add(1);
+        black_box(lane_of_tenant(black_box(tenant), 8))
+    });
+}
+
+fn bench_chip_serving(suite: &mut BenchSuite) {
+    // One full served run per sample: guest build, QEI trace build, the
+    // warm-up + measured passes, and the report. The 4-lane flavor adds
+    // sharded lanes, slice arbitration, and the cycle-ordered merge on top
+    // of the single-lane baseline.
+    let spec = WorkloadSpec::new(
+        0xB3,
+        0xB4,
+        WorkloadKind::DpdkFib {
+            flows: 400,
+            queries: 60,
+        },
+    );
+    let load_for = |cores: u32| LoadSpec {
+        tenants: 4 * cores,
+        mean_interarrival: 300,
+        arrivals_per_tenant: 16,
+        cores,
+        ..LoadSpec::default()
+    };
+    let engine = Engine::paper().with_threads(1);
+    for cores in [1u32, 4] {
+        let plan = RunPlan::served(spec, Some(Scheme::CoreIntegrated), load_for(cores));
+        suite.bench(&format!("chip/served_{cores}lane"), || {
+            let report = engine.run(&plan);
+            black_box(report.cycles)
+        });
+    }
+}
+
+fn main() {
+    // Pin lane stepping to one host thread: the bench measures simulation
+    // work, and serial lanes give the steadiest samples on shared runners.
+    qei_sim::engine::set_default_threads(1);
+    let mut suite = BenchSuite::from_args("chip");
+    bench_sharding(&mut suite);
+    bench_chip_serving(&mut suite);
+    suite.finish();
+}

@@ -1,0 +1,252 @@
+//! Cross-core LLC slice arbitration for the multi-core chip model.
+//!
+//! Each core lane of a [`qei-sim` `Chip`] steps against its own private
+//! hierarchy state, so lanes never share a mutable cache during stepping —
+//! that is what makes per-lane threads byte-identical to serial stepping.
+//! Shared-LLC *bandwidth* contention is instead modelled in two passes over
+//! the identical arrival stream:
+//!
+//! 1. During the warm-up pass every lane records a [`SlicePressure`]
+//!    profile — its LLC slice accesses bucketed into fixed cycle windows.
+//! 2. Between passes the deterministic arbiter ([`arbitrate`]) turns the
+//!    per-lane profiles into one read-only [`PenaltyTable`] per lane; the
+//!    measured pass charges each LLC access its window's penalty.
+//!
+//! The arbiter models each CHA as a FIFO server draining one access per
+//! [`SLICE_SERVICE_CYCLES`]. When a window's demand on a slice exceeds that
+//! capacity, the queueing delay of an access at queue position `p` is
+//! `p * service * (demand - capacity) / demand` (arrivals spread uniformly
+//! through the window; service is round-robin across lanes, mean queue
+//! position `demand / 2`), plus one service slot per lower-core-id lane
+//! sharing the window — the deterministic cycle-ordered tie-break: at equal
+//! cycles the lower core id is served first. A lane with no *foreign*
+//! traffic in a window
+//! pays nothing — the single-core slice pipeline is already priced by the
+//! LLC latency, so a 1-lane chip degenerates to zero penalties and
+//! reproduces the single-core path byte-for-byte.
+
+/// Cycle-window width used to bucket slice accesses (4096 cycles).
+pub const WINDOW_SHIFT: u32 = 12;
+
+/// Cycles one CHA needs to turn around one slice access (tag pipeline +
+/// comparator arbitration); the window capacity is
+/// `window_cycles / SLICE_SERVICE_CYCLES` accesses.
+pub const SLICE_SERVICE_CYCLES: u64 = 4;
+
+/// Cap on the extra latency charged to a single access (a full window):
+/// keeps a pathological hot window from stalling a lane unboundedly.
+pub const MAX_PENALTY: u64 = 1 << WINDOW_SHIFT;
+
+/// One lane's windowed LLC slice-access profile: `counts[w * slices + s]`
+/// is the number of accesses lane issued to slice `s` during window `w`.
+/// All-integer state, so profiles (and the penalties derived from them) are
+/// deterministic pure functions of the lane's run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlicePressure {
+    slices: u32,
+    counts: Vec<u32>,
+}
+
+impl SlicePressure {
+    /// An empty profile over `slices` LLC slices.
+    pub fn new(slices: u32) -> Self {
+        SlicePressure {
+            slices,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records one access to `slice` at cycle `now`.
+    pub fn record(&mut self, slice: u32, now: u64) {
+        let w = (now >> WINDOW_SHIFT) as usize;
+        let need = (w + 1) * self.slices as usize;
+        if self.counts.len() < need {
+            self.counts.resize(need, 0);
+        }
+        self.counts[w * self.slices as usize + slice as usize] += 1;
+    }
+
+    /// Windows covered by the profile.
+    pub fn windows(&self) -> usize {
+        if self.slices == 0 {
+            0
+        } else {
+            self.counts.len() / self.slices as usize
+        }
+    }
+
+    /// Accesses recorded for `slice` in window `w` (0 beyond the profile).
+    pub fn count(&self, w: usize, slice: u32) -> u32 {
+        self.counts
+            .get(w * self.slices as usize + slice as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Per-lane extra LLC latency, indexed `(window, slice)` like the pressure
+/// profile it was derived from. Installed read-only on a lane's hierarchy
+/// for the measured pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PenaltyTable {
+    slices: u32,
+    penalty: Vec<u32>,
+}
+
+impl PenaltyTable {
+    /// The extra cycles one access to `slice` at cycle `now` pays.
+    pub fn penalty(&self, slice: u32, now: u64) -> u64 {
+        let w = (now >> WINDOW_SHIFT) as usize;
+        self.penalty
+            .get(w * self.slices as usize + slice as usize)
+            .copied()
+            .unwrap_or(0) as u64
+    }
+
+    /// Whether any window carries a nonzero penalty.
+    pub fn is_empty(&self) -> bool {
+        self.penalty.iter().all(|&p| p == 0)
+    }
+}
+
+/// Turns every lane's warm-up [`SlicePressure`] profile into that lane's
+/// measured-pass [`PenaltyTable`]. Lanes are indexed by core id; the
+/// computation walks windows and lanes in id order, so the result is a
+/// deterministic pure function of the profiles.
+pub fn arbitrate(profiles: &[SlicePressure], slices: u32) -> Vec<PenaltyTable> {
+    let window = 1u64 << WINDOW_SHIFT;
+    let capacity = window / SLICE_SERVICE_CYCLES;
+    let windows = profiles
+        .iter()
+        .map(SlicePressure::windows)
+        .max()
+        .unwrap_or(0);
+    let mut tables: Vec<PenaltyTable> = profiles
+        .iter()
+        .map(|_| PenaltyTable {
+            slices,
+            penalty: vec![0; windows * slices as usize],
+        })
+        .collect();
+    for w in 0..windows {
+        for s in 0..slices {
+            let demand: u64 = profiles.iter().map(|p| p.count(w, s) as u64).sum();
+            if demand <= capacity {
+                continue;
+            }
+            let mut rank = 0u64; // lanes with traffic at lower core ids
+            for (lane, profile) in profiles.iter().enumerate() {
+                let own = profile.count(w, s) as u64;
+                if own == 0 {
+                    continue;
+                }
+                // Only *cross-core* interference is charged: a lane alone on
+                // a slice is already priced by the base LLC latency.
+                if demand > own {
+                    // Mean queue position under round-robin interleave,
+                    // times the per-position wait; lanes already queued at
+                    // the same cycle (lower core ids) each add one service
+                    // slot — the deterministic tie-break.
+                    let wait = (demand / 2)
+                        .saturating_mul(SLICE_SERVICE_CYCLES)
+                        .saturating_mul(demand - capacity)
+                        / demand
+                        + rank * SLICE_SERVICE_CYCLES;
+                    tables[lane].penalty[w * slices as usize + s as usize] =
+                        wait.min(MAX_PENALTY) as u32;
+                }
+                rank += 1;
+            }
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(slices: u32, hits: &[(u32, u64, u32)]) -> SlicePressure {
+        // (slice, cycle, count)
+        let mut p = SlicePressure::new(slices);
+        for &(slice, cycle, count) in hits {
+            for _ in 0..count {
+                p.record(slice, cycle);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn pressure_buckets_by_window_and_slice() {
+        let mut p = SlicePressure::new(4);
+        p.record(2, 0);
+        p.record(2, (1 << WINDOW_SHIFT) - 1);
+        p.record(3, 1 << WINDOW_SHIFT);
+        assert_eq!(p.count(0, 2), 2);
+        assert_eq!(p.count(1, 3), 1);
+        assert_eq!(p.count(1, 2), 0);
+        assert_eq!(p.count(7, 0), 0, "beyond the profile reads as zero");
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.windows(), 2);
+    }
+
+    #[test]
+    fn single_lane_pays_nothing_even_when_saturated() {
+        // One lane hammering a slice beyond window capacity: no *foreign*
+        // traffic, so no penalty — the cores=1 byte-identity guarantee.
+        let cap = (1u64 << WINDOW_SHIFT) / SLICE_SERVICE_CYCLES;
+        let p = profile(2, &[(0, 100, 4 * cap as u32)]);
+        let tables = arbitrate(&[p], 2);
+        assert!(tables[0].is_empty());
+    }
+
+    #[test]
+    fn under_capacity_windows_are_free() {
+        let p0 = profile(2, &[(0, 100, 10)]);
+        let p1 = profile(2, &[(0, 200, 10)]);
+        let tables = arbitrate(&[p0, p1], 2);
+        assert!(tables[0].is_empty() && tables[1].is_empty());
+    }
+
+    #[test]
+    fn contended_window_charges_both_lanes_with_core_id_tiebreak() {
+        let cap = ((1u64 << WINDOW_SHIFT) / SLICE_SERVICE_CYCLES) as u32;
+        let p0 = profile(1, &[(0, 10, cap)]);
+        let p1 = profile(1, &[(0, 20, cap)]);
+        let tables = arbitrate(&[p0, p1], 1);
+        let a = tables[0].penalty(0, 10);
+        let b = tables[1].penalty(0, 10);
+        assert!(a > 0 && b > 0, "both lanes share the overloaded slice");
+        assert!(b > a, "core-id tie-break: the higher id waits longer");
+        assert!(b <= MAX_PENALTY);
+        // A quiet window later on stays free.
+        assert_eq!(tables[0].penalty(0, 10 << WINDOW_SHIFT), 0);
+    }
+
+    #[test]
+    fn penalties_grow_with_foreign_demand() {
+        let cap = ((1u64 << WINDOW_SHIFT) / SLICE_SERVICE_CYCLES) as u32;
+        let mine = profile(1, &[(0, 10, cap / 2)]);
+        let light = profile(1, &[(0, 10, cap)]);
+        let heavy = profile(1, &[(0, 10, 3 * cap)]);
+        let a = arbitrate(&[mine.clone(), light], 1)[0].penalty(0, 10);
+        let b = arbitrate(&[mine, heavy], 1)[0].penalty(0, 10);
+        assert!(b > a, "more foreign traffic, more queueing: {a} vs {b}");
+    }
+
+    #[test]
+    fn arbitration_is_deterministic() {
+        let p0 = profile(3, &[(0, 10, 2000), (1, 5000, 900)]);
+        let p1 = profile(3, &[(0, 40, 1500), (2, 9000, 100)]);
+        assert_eq!(
+            arbitrate(&[p0.clone(), p1.clone()], 3),
+            arbitrate(&[p0, p1], 3)
+        );
+    }
+}

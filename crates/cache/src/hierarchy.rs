@@ -1,6 +1,7 @@
 //! The full memory hierarchy: private L1D/L2 per core, a sliced NUCA LLC,
 //! DRAM channels, and the mesh NoC gluing them together.
 
+use crate::contention::{PenaltyTable, SlicePressure};
 use crate::dram::Dram;
 use crate::set_cache::SetCache;
 use qei_config::{Cycles, MachineConfig};
@@ -45,6 +46,14 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Adds another hierarchy's counters (the chip's per-lane aggregate).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.l1_accesses += other.l1_accesses;
+        self.l2_accesses += other.l2_accesses;
+        self.llc_accesses += other.llc_accesses;
+        self.dram_accesses += other.dram_accesses;
+    }
+
     /// Exports the hierarchy counters into the run's central registry under
     /// the `mem` group.
     pub fn export_stats(&self, reg: &mut qei_config::StatsRegistry) {
@@ -67,6 +76,14 @@ pub struct MemoryHierarchy {
     stats: MemStats,
     /// Cache miss/evict event ring (no-op unless tracing is enabled).
     trace: EventBuf,
+    /// Windowed slice-access profile collected during a chip warm-up pass
+    /// (`None` outside multi-core runs; see `contention`).
+    pressure: Option<SlicePressure>,
+    /// Read-only cross-core slice penalties applied during a chip measured
+    /// pass (`None` outside multi-core runs).
+    contention: Option<PenaltyTable>,
+    /// Extra cycles charged by the contention table this epoch.
+    contention_cycles: u64,
 }
 
 impl MemoryHierarchy {
@@ -91,7 +108,36 @@ impl MemoryHierarchy {
             cores: config.cores,
             stats: MemStats::default(),
             trace: EventBuf::new(),
+            pressure: None,
+            contention: None,
+            contention_cycles: 0,
         }
+    }
+
+    /// Starts (or stops) recording the windowed LLC slice-access profile —
+    /// the chip's warm-up pass turns this on so the arbiter can price
+    /// cross-core slice contention for the measured pass. Recording only
+    /// observes; it never changes an access's timing.
+    pub fn set_pressure_recording(&mut self, on: bool) {
+        self.pressure = on.then(|| SlicePressure::new(self.cores));
+    }
+
+    /// Takes the recorded slice-access profile (empty if recording was off).
+    pub fn take_pressure(&mut self) -> SlicePressure {
+        self.pressure
+            .take()
+            .unwrap_or_else(|| SlicePressure::new(self.cores))
+    }
+
+    /// Installs the read-only cross-core slice penalty table for the
+    /// measured pass; `None` removes it.
+    pub fn set_contention(&mut self, table: Option<PenaltyTable>) {
+        self.contention = table;
+    }
+
+    /// Extra LLC cycles the contention table charged this epoch.
+    pub fn contention_cycles(&self) -> u64 {
+        self.contention_cycles
     }
 
     /// The LLC home slice of a physical line (the NUCA hash).
@@ -248,8 +294,18 @@ impl MemoryHierarchy {
     fn access_at_slice(&mut self, slice: u32, pa: PhysAddr, write: bool, now: u64) -> AccessResult {
         let line = pa.line();
         self.stats.llc_accesses += 1;
+        if let Some(p) = &mut self.pressure {
+            p.record(slice, now);
+        }
+        // Cross-core slice arbitration: queue behind the other lanes'
+        // traffic in this window (zero outside multi-core measured passes).
+        let queued = match &self.contention {
+            Some(t) => t.penalty(slice, now),
+            None => 0,
+        };
+        self.contention_cycles += queued;
         let t = self.llc[slice as usize].access(line, write);
-        let llc_lat = self.llc[slice as usize].latency();
+        let llc_lat = self.llc[slice as usize].latency() + queued;
         if t.hit {
             return AccessResult {
                 latency: Cycles(llc_lat),
@@ -297,6 +353,7 @@ impl MemoryHierarchy {
         self.noc.reset_traffic();
         self.dram.reset();
         self.trace.clear();
+        self.contention_cycles = 0;
     }
 
     /// Takes the buffered cache *and* NoC trace events plus the combined
@@ -396,6 +453,56 @@ mod tests {
         for &c in &counts {
             assert!(c > 300 && c < 3000, "slice count {c} badly skewed");
         }
+    }
+
+    #[test]
+    fn pressure_recording_observes_without_changing_timing() {
+        let pa = PhysAddr(0x70_0000);
+        let mut plain = hierarchy();
+        let mut recorded = hierarchy();
+        recorded.set_pressure_recording(true);
+        for i in 0..32u64 {
+            let p = PhysAddr(0x70_0000 + i * 64);
+            assert_eq!(
+                plain.access_core(0, p, false, i * 10),
+                recorded.access_core(0, p, false, i * 10)
+            );
+        }
+        let profile = recorded.take_pressure();
+        assert!(profile.total() >= 32, "every LLC access is profiled");
+        assert_eq!(plain.access_core(0, pa, false, 999), {
+            // Recording was taken: the hierarchy observes nothing further.
+            recorded.access_core(0, pa, false, 999)
+        });
+    }
+
+    #[test]
+    fn installed_penalties_slow_llc_accesses_and_are_counted() {
+        use crate::contention::{arbitrate, SlicePressure, SLICE_SERVICE_CYCLES, WINDOW_SHIFT};
+        let mut m = hierarchy();
+        let pa = PhysAddr(0x80_0000);
+        m.warm_llc(pa);
+        let home = m.home_slice(pa);
+        let quiet = m.access_cha(home, pa, false, 0).latency;
+        // A saturating foreign lane shares every slice in window 0.
+        let cap = ((1u64 << WINDOW_SHIFT) / SLICE_SERVICE_CYCLES) as u32;
+        let mut mine = SlicePressure::new(24);
+        let mut foreign = SlicePressure::new(24);
+        for s in 0..24 {
+            mine.record(s, 1);
+            for _ in 0..2 * cap {
+                foreign.record(s, 1);
+            }
+        }
+        let tables = arbitrate(&[mine, foreign], 24);
+        m.set_contention(Some(tables[0].clone()));
+        let contended = m.access_cha(home, pa, false, 0).latency;
+        assert!(contended > quiet, "{contended} vs {quiet}");
+        assert!(m.contention_cycles() > 0);
+        m.reset_epoch();
+        assert_eq!(m.contention_cycles(), 0, "epoch reset clears the charge");
+        m.set_contention(None);
+        assert_eq!(m.access_cha(home, pa, false, 0).latency, quiet);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! All latencies include the mesh-NoC hops between the requesting tile and
 //! the line's home slice.
 
+pub mod contention;
 pub mod dram;
 pub mod hierarchy;
 pub mod set_cache;
 
+pub use contention::{arbitrate, PenaltyTable, SlicePressure};
 pub use dram::Dram;
 pub use hierarchy::{AccessResult, HitLevel, MemStats, MemoryHierarchy};
 pub use set_cache::{CacheStats, SetCache};

@@ -63,6 +63,11 @@ pub struct LoadSpec {
     pub blocking: bool,
     /// Seed for the arrival process (tenant streams derive from it).
     pub seed: u64,
+    /// Core lanes serving the load: tenants are hash-sharded across this
+    /// many per-core accelerator lanes, each with its own admission queue,
+    /// contending on the shared LLC/NoC. `1` is the single-core serving
+    /// path (and reproduces it byte-for-byte).
+    pub cores: u32,
 }
 
 impl Default for LoadSpec {
@@ -78,6 +83,7 @@ impl Default for LoadSpec {
             poll_interval: 64,
             blocking: true,
             seed: 0x5EED_10AD,
+            cores: 1,
         }
     }
 }
@@ -103,6 +109,9 @@ impl LoadSpec {
         }
         if self.poll_interval == 0 && !self.blocking {
             return Err("load: non-blocking polling needs a nonzero interval");
+        }
+        if self.cores == 0 {
+            return Err("load: at least one core lane");
         }
         Ok(())
     }
@@ -137,10 +146,18 @@ impl LoadSpec {
         self
     }
 
+    /// Sets the number of core lanes serving the load (scale-out axis).
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
     /// Deterministic tag fragment for plan labels: distinguishes sweep
-    /// points (rate, queue, policy, flavor) within one workload.
+    /// points (rate, queue, policy, flavor) within one workload. The core
+    /// count only appears for multi-core loads so single-core tags — and
+    /// therefore every pre-existing plan label — stay byte-identical.
     pub fn tag(&self) -> String {
-        format!(
+        let mut tag = format!(
             "ia{}t{}q{}{}{}",
             self.mean_interarrival,
             self.tenants,
@@ -151,7 +168,11 @@ impl LoadSpec {
                 AdmissionPolicy::TailDrop => "d",
             },
             if self.blocking { "b" } else { "n" },
-        )
+        );
+        if self.cores > 1 {
+            tag.push_str(&format!("c{}", self.cores));
+        }
+        tag
     }
 }
 
@@ -207,12 +228,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_cores_is_rejected_and_single_core_tag_is_unchanged() {
+        let ok = LoadSpec::default();
+        assert!(LoadSpec { cores: 0, ..ok }.validate().is_err());
+        assert_eq!(ok.validate(), Ok(()));
+        // The single-core tag carries no core fragment — pre-existing plan
+        // labels (and their traces) must stay byte-identical.
+        assert!(!ok.tag().contains('c'));
+        assert!(ok.with_cores(4).tag().ends_with("c4"));
+        assert_eq!(ok.with_cores(1).tag(), ok.tag());
+    }
+
+    #[test]
     fn tags_distinguish_sweep_points() {
         let a = LoadSpec::default();
         let b = a.with_interarrival(100);
         let c = a.with_policy(AdmissionPolicy::TailDrop);
         let d = a.with_blocking(false);
-        let tags = [a.tag(), b.tag(), c.tag(), d.tag()];
+        let e = a.with_cores(2);
+        let tags = [a.tag(), b.tag(), c.tag(), d.tag(), e.tag()];
         for (i, x) in tags.iter().enumerate() {
             for (j, y) in tags.iter().enumerate() {
                 assert_eq!(i == j, x == y, "{x} vs {y}");

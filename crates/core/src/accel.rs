@@ -208,6 +208,28 @@ impl AccelStats {
         }
     }
 
+    /// Adds another accelerator instance's counters (the chip's per-lane
+    /// aggregate): plain sums plus histogram merges, so the merged stats
+    /// are order-independent across lanes.
+    pub fn merge(&mut self, other: &AccelStats) {
+        self.queries += other.queries;
+        self.faults += other.faults;
+        self.mem_ops += other.mem_ops;
+        self.lines_fetched += other.lines_fetched;
+        self.compares += other.compares;
+        self.compare_bytes += other.compare_bytes;
+        self.hashes += other.hashes;
+        self.alu_ops += other.alu_ops;
+        self.remote_compares += other.remote_compares;
+        self.tlb_lookups += other.tlb_lookups;
+        self.tlb_misses += other.tlb_misses;
+        self.latency_sum += other.latency_sum;
+        self.fault_latency_sum += other.fault_latency_sum;
+        self.latency_hist.merge(&other.latency_hist);
+        self.fault_latency_hist.merge(&other.fault_latency_hist);
+        self.nb_aborts += other.nb_aborts;
+    }
+
     /// Records one completed query's latency into the per-outcome sum and
     /// histogram, keyed on the typed fault (if any) so fault accounting can
     /// never be conflated with the serving layer's reject/timeout keys

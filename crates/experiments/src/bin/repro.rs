@@ -6,8 +6,9 @@
 //! repro all            # every experiment at paper scale
 //! repro fig7           # one experiment
 //! repro --quick all    # small datasets (smoke run)
-//! repro --serial all   # run every plan on one thread
+//! repro --serial all   # run every plan (and every chip lane) on one thread
 //! repro --jobs 4 all   # cap the plan-execution workers at 4
+//! repro load-sweep --cores 1,2,4,8  # multi-core chip scaling sweep
 //! repro --profile fig7 # print per-phase wall time per plan to stderr
 //! repro --trace t.json smoke  # also write a Chrome trace-event JSON
 //! repro --verify       # model-check every installed firmware CFA
@@ -32,7 +33,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile] [--trace FILE] [--serial | --jobs N] <experiment|all>\n       repro --verify\n  experiments: {}",
+        "usage: repro [--quick] [--profile] [--trace FILE] [--serial | --jobs N] [--cores LIST] <experiment|all>\n       repro --verify\n  experiments: {}\n  --cores 1,2,4,8 selects chip sizes for the load-sweep scaling table",
         qei_experiments::ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -96,6 +97,19 @@ fn main() {
         let jobs: usize = args[pos + 1].parse().unwrap_or_else(|_| usage());
         args.drain(pos..=pos + 1);
         qei_sim::engine::set_default_threads(jobs);
+    }
+    let mut cores_list: Option<Vec<u32>> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--cores") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        let parsed: Result<Vec<u32>, _> = args[pos + 1].split(',').map(str::parse).collect();
+        let list = parsed.unwrap_or_else(|_| usage());
+        if list.is_empty() || list.contains(&0) {
+            usage();
+        }
+        args.drain(pos..=pos + 1);
+        cores_list = Some(list);
     }
     let mut trace_out: Option<String> = None;
     if let Some(pos) = args.iter().position(|a| a == "--trace") {
@@ -190,8 +204,16 @@ fn main() {
         emit(ablations::render());
     }
     if what == "all" || what == "load-sweep" {
-        eprintln!("[repro] load sweep (served arrival rates) ...");
-        emit(load_sweep::render(scale));
+        match &cores_list {
+            Some(cores) => {
+                eprintln!("[repro] load sweep (multi-core scaling, cores {cores:?}) ...");
+                emit(load_sweep::render_scaling(scale, cores));
+            }
+            None => {
+                eprintln!("[repro] load sweep (served arrival rates) ...");
+                emit(load_sweep::render(scale));
+            }
+        }
     }
     if what == "all" || what == "smoke" {
         emit(smoke::render(scale));

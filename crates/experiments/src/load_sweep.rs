@@ -73,6 +73,18 @@ fn load_at(scale: Scale, mean_interarrival: u64, blocking: bool) -> LoadSpec {
     }
 }
 
+/// The load pattern at one swept rate on a chip of `cores` lanes: tenants
+/// scale with the lane count (4 per lane keeps every hash shard populated)
+/// so the *per-tenant* offered rate is constant and the aggregate offered
+/// load grows linearly with the chip size.
+fn scaled_load_at(scale: Scale, mean_interarrival: u64, blocking: bool, cores: u32) -> LoadSpec {
+    LoadSpec {
+        tenants: 4 * cores,
+        cores,
+        ..load_at(scale, mean_interarrival, blocking)
+    }
+}
+
 fn point(load: &LoadSpec, r: &RunReport) -> LoadPoint {
     LoadPoint {
         mean_interarrival: load.mean_interarrival,
@@ -192,6 +204,100 @@ pub fn render(scale: Scale) -> String {
     out
 }
 
+/// One chip size's sweep in the multi-core scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Core lanes on the chip.
+    pub cores: u32,
+    /// One aggregate point per entry of [`RATES`].
+    pub points: Vec<LoadPoint>,
+    /// Summed cross-lane LLC contention cycles at the densest rate (zero
+    /// on a single-core chip, which has nobody to contend with).
+    pub contention_at_knee: u64,
+}
+
+/// Runs the multi-core scaling sweep (`load-sweep --cores`): the blocking
+/// Core-integrated backend at every swept rate, once per requested chip
+/// size, all through one parallel `run_all` batch.
+pub fn scaling_rows(scale: Scale, cores_list: &[u32]) -> Vec<ScalingRow> {
+    let spec = suite_specs(scale)[0];
+    let mut plans = Vec::new();
+    for &cores in cores_list {
+        for rate in RATES {
+            plans.push(
+                RunPlan::for_workload(spec)
+                    .mode(RunMode::Served {
+                        load: scaled_load_at(scale, rate, true, cores),
+                    })
+                    .scheme(Scheme::CoreIntegrated)
+                    .build(),
+            );
+        }
+    }
+    let reports = engine().run_all(&plans);
+    cores_list
+        .iter()
+        .zip(reports.chunks(RATES.len()))
+        .map(|(&cores, chunk)| {
+            let points = RATES
+                .iter()
+                .zip(chunk)
+                .map(|(&rate, r)| point(&scaled_load_at(scale, rate, true, cores), r))
+                .collect();
+            let contention_at_knee = chunk[RATES.len() - 1]
+                .stats
+                .count("serve", "contention_cycles");
+            ScalingRow {
+                cores,
+                points,
+                contention_at_knee,
+            }
+        })
+        .collect()
+}
+
+/// Renders the scaling sweep: aggregate queries/Mcycle and client latency
+/// per (chip size, offered rate), plus per-lane throughput at the densest
+/// rate so the knee shift is visible at a glance.
+pub fn render_scaling(scale: Scale, cores_list: &[u32]) -> String {
+    let rows = scaling_rows(scale, cores_list);
+    let header = [
+        "cores",
+        "offered",
+        "achieved",
+        "per-lane",
+        "p50",
+        "p99",
+        "rejects",
+        "contention",
+    ];
+    let mut body = Vec::new();
+    for row in &rows {
+        for (i, p) in row.points.iter().enumerate() {
+            let knee = i == row.points.len() - 1;
+            body.push(vec![
+                row.cores.to_string(),
+                p.offered_qpmc.to_string(),
+                p.achieved_qpmc.to_string(),
+                (p.achieved_qpmc / row.cores as u64).to_string(),
+                p.p50.to_string(),
+                p.p99.to_string(),
+                p.rejects.to_string(),
+                if knee {
+                    row.contention_at_knee.to_string()
+                } else {
+                    "-".to_owned()
+                },
+            ]);
+        }
+    }
+    render::table(
+        "Multi-core scaling — aggregate served DPDK throughput (queries/Mcycle) vs chip size (shared-LLC contention shifts the knee)",
+        &header,
+        &body,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +343,31 @@ mod tests {
                 LoadSpec::default().tenants as usize
             );
         }
+    }
+
+    #[test]
+    fn aggregate_throughput_scales_with_cores() {
+        // The ISSUE's acceptance shape: at the densest rate, a 2-lane chip
+        // sustains more aggregate queries/Mcycle than a single lane.
+        let rows = scaling_rows(Scale::Quick, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        let last = RATES.len() - 1;
+        let one = rows[0].points[last].achieved_qpmc;
+        let two = rows[1].points[last].achieved_qpmc;
+        assert!(
+            two > one,
+            "2-core chip ({two} q/Mc) should out-serve 1 core ({one} q/Mc)"
+        );
+        // A single-core chip has nobody to contend with.
+        assert_eq!(rows[0].contention_at_knee, 0);
+    }
+
+    #[test]
+    fn scaling_render_lists_every_chip_size() {
+        let out = render_scaling(Scale::Quick, &[1, 2]);
+        assert!(out.contains("Multi-core scaling"));
+        assert!(out.contains("per-lane"));
+        assert!(out.contains("contention"));
     }
 
     #[test]

@@ -60,6 +60,20 @@ pub struct Mesh {
     hop_latency: u64,
     link_bytes_per_cycle: f64,
     link_bytes: Vec<u64>,
+    /// Per-link byte totals other chip lanes put on the *shared* mesh over
+    /// their warm-up horizon (empty outside multi-core measured passes).
+    /// During congestion pricing the totals are prorated to `now` and added
+    /// to this lane's own counters, so cross-lane traffic inflates link
+    /// utilization deterministically without lanes sharing mutable state.
+    foreign_bytes: Vec<u64>,
+    /// Horizon (cycles) over which `foreign_bytes` accumulated; 0 disables
+    /// foreign pressure.
+    foreign_horizon: u64,
+    /// Extra congestion cycles attributable to foreign traffic: the
+    /// difference between each transfer's priced latency and what it would
+    /// have cost on a private mesh. The chip reports this as the NoC share
+    /// of a lane's contention cycles.
+    foreign_delay_cycles: u64,
     stats: NocStats,
     /// Hop event ring (no-op unless tracing is enabled).
     trace: EventBuf,
@@ -81,8 +95,32 @@ impl Mesh {
             hop_latency: config.noc_hop_latency,
             link_bytes_per_cycle: config.noc_link_bytes_per_cycle,
             link_bytes: vec![0; links],
+            foreign_bytes: Vec::new(),
+            foreign_horizon: 0,
+            foreign_delay_cycles: 0,
             stats: NocStats::default(),
             trace: EventBuf::new(),
+        }
+    }
+
+    /// Snapshot of the per-link byte counters (the warm-up profile other
+    /// lanes' meshes install as foreign traffic).
+    pub fn link_traffic(&self) -> Vec<u64> {
+        self.link_bytes.clone()
+    }
+
+    /// Installs the other lanes' per-link traffic totals, accumulated over
+    /// `horizon` cycles; an empty slice or zero horizon disables foreign
+    /// pressure. Survives [`Mesh::reset_traffic`], which only clears this
+    /// lane's own accounting.
+    pub fn set_foreign_traffic(&mut self, bytes: &[u64], horizon: u64) {
+        if bytes.is_empty() || horizon == 0 {
+            self.foreign_bytes.clear();
+            self.foreign_horizon = 0;
+        } else {
+            assert_eq!(bytes.len(), self.link_bytes.len(), "link arena mismatch");
+            self.foreign_bytes = bytes.to_vec();
+            self.foreign_horizon = horizon;
         }
     }
 
@@ -137,12 +175,25 @@ impl Mesh {
         }
         let route = self.route(a, b);
         let mut worst_util: f64 = 0.0;
+        let mut worst_own_util: f64 = 0.0;
         for link in route {
-            let c = &mut self.link_bytes[link];
-            *c += bytes;
+            self.link_bytes[link] += bytes;
             if now_cycles > 0 {
+                // Cross-lane mesh sharing: other lanes' warm-up traffic on
+                // this link, prorated to `now` (integer math, so the
+                // inflation is deterministic and zero when no chip installed
+                // foreign traffic).
+                let foreign = self
+                    .foreign_bytes
+                    .get(link)
+                    .map(|b| b.saturating_mul(now_cycles))
+                    .and_then(|scaled| scaled.checked_div(self.foreign_horizon))
+                    .unwrap_or(0);
+                let own = self.link_bytes[link];
+                let load = own + foreign;
                 let cap = self.link_bytes_per_cycle * now_cycles as f64;
-                worst_util = worst_util.max((*c as f64 / cap).min(0.98));
+                worst_util = worst_util.max((load as f64 / cap).min(0.98));
+                worst_own_util = worst_own_util.max((own as f64 / cap).min(0.98));
             }
         }
         let base = hops * self.hop_latency;
@@ -150,6 +201,9 @@ impl Mesh {
         let serialize = (bytes as f64 / self.link_bytes_per_cycle).ceil() as u64;
         // M/M/1-flavoured queueing inflation on the most loaded link.
         let congestion = (base as f64 * worst_util / (1.0 - worst_util)) as u64;
+        // The share a private mesh would not have charged is contention.
+        let own_congestion = (base as f64 * worst_own_util / (1.0 - worst_own_util)) as u64;
+        self.foreign_delay_cycles += congestion - own_congestion.min(congestion);
         Cycles(base + serialize + congestion)
     }
 
@@ -197,6 +251,13 @@ impl Mesh {
         self.link_bytes.fill(0);
         self.stats = NocStats::default();
         self.trace.clear();
+        self.foreign_delay_cycles = 0;
+    }
+
+    /// Extra congestion cycles foreign (cross-lane) traffic added since the
+    /// last [`Mesh::reset_traffic`]; zero on a private mesh.
+    pub fn foreign_delay_cycles(&self) -> u64 {
+        self.foreign_delay_cycles
     }
 
     /// Takes the buffered hop events plus the overwrite count, leaving the
@@ -320,6 +381,36 @@ mod tests {
             }
         }
         assert!(!d.has_hotspot(100_000));
+    }
+
+    #[test]
+    fn foreign_traffic_inflates_congestion_deterministically() {
+        let mut quiet = mesh();
+        let mut shared = mesh();
+        // Build the foreign profile: a busy lane hammering the same route.
+        let mut other = mesh();
+        for _ in 0..20_000 {
+            other.transfer(Tile(0), Tile(23), 64, 1_000);
+        }
+        shared.set_foreign_traffic(&other.link_traffic(), 1_000);
+        let lone = quiet.transfer(Tile(0), Tile(23), 64, 1_000);
+        let contended = shared.transfer(Tile(0), Tile(23), 64, 1_000);
+        assert!(contended > lone, "{contended} vs {lone}");
+        // The extra cycles are attributed to foreign traffic; a private
+        // mesh charges none.
+        assert_eq!(
+            shared.foreign_delay_cycles(),
+            contended.as_u64() - lone.as_u64()
+        );
+        assert_eq!(quiet.foreign_delay_cycles(), 0);
+        // Foreign pressure survives an epoch reset (it is installed
+        // configuration, not this lane's accounting) ...
+        shared.reset_traffic();
+        assert!(shared.transfer(Tile(0), Tile(23), 64, 1_000) > lone);
+        // ... and clearing it restores the lone-lane timing.
+        shared.set_foreign_traffic(&[], 0);
+        shared.reset_traffic();
+        assert_eq!(shared.transfer(Tile(0), Tile(23), 64, 1_000), lone);
     }
 
     #[test]

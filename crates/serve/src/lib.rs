@@ -24,8 +24,10 @@
 
 pub mod arrival;
 pub mod queue;
+pub mod shard;
 pub mod stats;
 
 pub use arrival::{arrivals, Arrival};
-pub use queue::{run_load, AdmissionQueue, QueryBackend};
+pub use queue::{run_load, run_load_lane, AdmissionQueue, QueryBackend};
+pub use shard::lane_of_tenant;
 pub use stats::{ServeStats, TenantStats};

@@ -13,6 +13,7 @@
 //! [`LoadSpec`] and the backend.
 
 use crate::arrival::arrivals;
+use crate::shard::lane_of_tenant;
 use crate::stats::ServeStats;
 use qei_config::{AdmissionPolicy, Cycles, LoadSpec};
 use qei_core::FaultCode;
@@ -128,8 +129,28 @@ pub fn run_load<B: QueryBackend>(
     backend: &mut B,
     trace: &mut EventBuf,
 ) -> ServeStats {
+    run_load_lane(load, n_jobs, 0, backend, trace)
+}
+
+/// Runs one core lane's share of the load pattern: the full arrival stream
+/// is generated, then filtered down to the tenants
+/// [`lane_of_tenant`] assigns to `lane` — so sharding re-routes queries
+/// across lanes without perturbing any arrival's cycle, job, or seed. Each
+/// lane owns a full-depth admission queue in front of its own accelerator.
+/// The returned [`ServeStats`] is sized for *all* tenants with only this
+/// lane's tenants populated, which makes the chip's per-lane merge a
+/// disjoint sum. On a single-core load (`cores == 1`) lane 0 serves every
+/// tenant and this is exactly [`run_load`].
+pub fn run_load_lane<B: QueryBackend>(
+    load: &LoadSpec,
+    n_jobs: u32,
+    lane: u32,
+    backend: &mut B,
+    trace: &mut EventBuf,
+) -> ServeStats {
     let mut heap: BinaryHeap<Reverse<Attempt>> = arrivals(load, n_jobs)
         .into_iter()
+        .filter(|a| lane_of_tenant(a.tenant, load.cores) == lane)
         .map(|a| {
             Reverse(Attempt {
                 at: a.at,

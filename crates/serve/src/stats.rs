@@ -42,6 +42,20 @@ impl TenantStats {
         }
         self.latency.record(latency);
     }
+
+    /// Adds another view of the same tenant (chip lane merge). Lanes serve
+    /// disjoint tenant sets, so in practice one side is always zero.
+    pub fn absorb(&mut self, other: &TenantStats) {
+        self.offered += other.offered;
+        self.completed += other.completed;
+        self.faults += other.faults;
+        self.rejects += other.rejects;
+        self.retries += other.retries;
+        self.drops += other.drops;
+        self.timeouts += other.timeouts;
+        self.stall_cycles += other.stall_cycles;
+        self.latency.merge(&other.latency);
+    }
 }
 
 /// The full served run: one [`TenantStats`] per tenant plus queue-level
@@ -174,6 +188,51 @@ impl ServeStats {
         }
     }
 
+    /// Merges one core lane's statistics into this chip-aggregate view.
+    /// Lanes serve disjoint tenant shards of the same load, so tenant
+    /// counters sum, the horizon is the latest lane's, and the peak queue
+    /// depth is the deepest lane's (each lane owns its own queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant counts differ (the lanes served different
+    /// loads).
+    pub fn merge_lane(&mut self, lane: &ServeStats) {
+        assert_eq!(
+            self.tenants.len(),
+            lane.tenants.len(),
+            "lanes must serve the same tenant universe"
+        );
+        for (mine, theirs) in self.tenants.iter_mut().zip(&lane.tenants) {
+            mine.absorb(theirs);
+        }
+        self.peak_queue = self.peak_queue.max(lane.peak_queue);
+        self.horizon = self.horizon.max(lane.horizon);
+    }
+
+    /// Exports this lane's aggregate view under the per-core subtree
+    /// `serve_c{core}` — the multi-core chip's per-lane report. Per-tenant
+    /// keys stay in the chip-aggregate `serve` group (each tenant lives on
+    /// exactly one lane, so they would only be duplicated here).
+    pub fn export_core_into(&self, reg: &mut StatsRegistry, core: u32) {
+        let g = format!("serve_c{core}");
+        reg.set(&g, "offered", self.offered());
+        reg.set(&g, "completed", self.completed());
+        reg.set(&g, "faults", self.faults());
+        reg.set(&g, "rejects", self.rejects());
+        reg.set(&g, "retries", self.retries());
+        reg.set(&g, "drops", self.drops());
+        reg.set(&g, "timeouts", self.timeouts());
+        reg.set(&g, "stall_cycles", self.stall_cycles());
+        reg.set(&g, "peak_queue_depth", self.peak_queue as u64);
+        reg.set(&g, "horizon_cycles", self.horizon);
+        reg.set(&g, "throughput_qpmc", self.throughput_qpmc());
+        let all = self.latency();
+        reg.set(&g, "latency_p50", all.p50());
+        reg.set(&g, "latency_p90", all.p90());
+        reg.set(&g, "latency_p99", all.p99());
+    }
+
     /// The registry JSON of these statistics alone (test/debug helper).
     pub fn to_registry_json(&self) -> String {
         let mut reg = StatsRegistry::new();
@@ -229,6 +288,46 @@ mod tests {
         assert_eq!(reg.count("serve", "t1_completed"), 1);
         assert_eq!(reg.count("serve", "t1_p99"), 4_095);
         assert!(reg.get("serve", "latency").is_some());
+    }
+
+    #[test]
+    fn lane_merge_is_a_disjoint_sum() {
+        // Two lanes over the same 2-tenant universe, disjoint shards.
+        let mut lane0 = ServeStats::new(2);
+        lane0.tenant_mut(0).offered = 3;
+        lane0.tenant_mut(0).complete(100, None);
+        lane0.peak_queue = 4;
+        lane0.horizon = 8_000;
+        let mut lane1 = ServeStats::new(2);
+        lane1.tenant_mut(1).offered = 2;
+        lane1.tenant_mut(1).complete(50, None);
+        lane1.tenant_mut(1).complete(60, Some(FaultCode::PageFault));
+        lane1.peak_queue = 6;
+        lane1.horizon = 9_500;
+
+        let mut chip = ServeStats::new(2);
+        chip.merge_lane(&lane0);
+        chip.merge_lane(&lane1);
+        assert_eq!(chip.offered(), 5);
+        assert_eq!(chip.completed(), 3);
+        assert_eq!(chip.faults(), 1);
+        assert_eq!(chip.peak_queue, 6);
+        assert_eq!(chip.horizon, 9_500);
+        assert_eq!(chip.latency().count(), 3);
+        // Per-tenant identity survives the merge.
+        assert_eq!(chip.tenants[0].offered, 3);
+        assert_eq!(chip.tenants[1].offered, 2);
+    }
+
+    #[test]
+    fn per_core_export_writes_its_own_subtree() {
+        let s = sample();
+        let mut reg = StatsRegistry::new();
+        s.export_core_into(&mut reg, 3);
+        assert_eq!(reg.count("serve_c3", "offered"), 4);
+        assert_eq!(reg.count("serve_c3", "throughput_qpmc"), 300);
+        assert!(reg.get("serve_c3", "latency_p99").is_some());
+        assert!(reg.get("serve", "offered").is_none(), "no aggregate leak");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! truth.
 
 pub mod bus;
+pub(crate) mod chip;
 pub mod engine;
 pub mod report;
 
@@ -27,7 +28,7 @@ pub use bus::QeiBus;
 pub use engine::{
     ConfigOverrides, Engine, RunMode, RunPlan, RunPlanBuilder, WorkloadKind, WorkloadSpec,
 };
-pub use report::{QeiRunData, RunReport, ServedRunData};
+pub use report::{CoreLaneData, QeiRunData, RunReport, ServedRunData};
 
 use qei_config::MachineConfig;
 use qei_cpu::Trace;

@@ -24,22 +24,40 @@ pub struct QeiRunData {
     pub noc: NocStats,
 }
 
+/// One core lane's slice of a multi-core served run, reported under the
+/// per-core `serve_c{i}` stats subtree.
+#[derive(Debug, Clone)]
+pub struct CoreLaneData {
+    /// The lane's serving statistics over its tenant shard.
+    pub serve: ServeStats,
+    /// Extra LLC cycles the chip's contention arbiter charged this lane.
+    pub contention_cycles: u64,
+}
+
 /// The raw measurements of one served (open-loop load) run, bundled for
 /// [`RunReport::from_served`]. The accelerator-side fields are `None` when
 /// the run served through the calibrated software baseline.
 #[derive(Debug, Clone)]
 pub struct ServedRunData {
-    /// Serving-layer statistics (per-tenant latency, admission outcomes).
+    /// Serving-layer statistics (per-tenant latency, admission outcomes;
+    /// the chip-aggregate merge on a multi-core run).
     pub serve: ServeStats,
     /// Memory-hierarchy access counts (the calibration pass's for software
-    /// serving, the serve loop's for QEI serving).
+    /// serving, the serve loop's for QEI serving; summed across lanes).
     pub mem: MemStats,
-    /// Accelerator statistics (QEI serving only).
+    /// Accelerator statistics (QEI serving only; merged across lanes).
     pub accel: Option<AccelStats>,
-    /// NoC traffic totals (QEI serving only).
+    /// NoC traffic totals (QEI serving only; summed across lanes).
     pub noc: Option<NocStats>,
-    /// Mean QST occupancy over the served horizon (QEI serving only).
+    /// Mean QST occupancy over the served horizon (QEI serving only; the
+    /// lane mean on a multi-core run).
     pub qst_occupancy: f64,
+    /// Core lanes the load was sharded across (1 = the single-core path).
+    pub cores: u32,
+    /// Per-lane reports, in core-id order. Empty when `cores == 1` so a
+    /// single-core run's stats tree is byte-identical to the pre-chip
+    /// engine's.
+    pub per_core: Vec<CoreLaneData>,
 }
 
 /// The outcome of one priced run (baseline or QEI).
@@ -210,6 +228,20 @@ impl RunReport {
         }
         if data.accel.is_some() {
             stats.set("run", "qst_occupancy", data.qst_occupancy);
+        }
+        if data.cores > 1 {
+            stats.set("run", "cores", u64::from(data.cores));
+            let mut contention = 0u64;
+            for (i, lane) in data.per_core.iter().enumerate() {
+                lane.serve.export_core_into(&mut stats, i as u32);
+                stats.set(
+                    &format!("serve_c{i}"),
+                    "contention_cycles",
+                    lane.contention_cycles,
+                );
+                contention += lane.contention_cycles;
+            }
+            stats.set("serve", "contention_cycles", contention);
         }
         data.serve.export_into(&mut stats);
         data.mem.export_stats(&mut stats);

@@ -49,6 +49,29 @@ pub fn qst_track(inst: usize, slot: usize) -> u32 {
     128 + (inst as u32) * 256 + slot as u32
 }
 
+/// Track-id stride between core lanes: every base track id (core tracks,
+/// `TRACK_*`, and the `qst_track` range, which tops out at
+/// `128 + 24 * 256 = 6272`) fits below one stride, so per-core track
+/// namespaces never collide.
+pub const CORE_TRACK_STRIDE: u32 = 8192;
+
+/// Namespaces a base track id by core lane: `(core, track)` encoded as
+/// `core * CORE_TRACK_STRIDE + track`. Core 0 maps to the unchanged base
+/// id, so single-core exports are byte-identical to the un-namespaced
+/// encoding.
+pub fn core_track(core: u32, track: u32) -> u32 {
+    debug_assert!(
+        track < CORE_TRACK_STRIDE,
+        "base track {track} overflows a lane"
+    );
+    core * CORE_TRACK_STRIDE + track
+}
+
+/// Decodes a (possibly core-namespaced) track id back to `(core, base)`.
+pub fn track_core(track: u32) -> (u32, u32) {
+    (track / CORE_TRACK_STRIDE, track % CORE_TRACK_STRIDE)
+}
+
 /// What happened. Variant order is part of the deterministic sort key for
 /// events sharing a cycle and track, so `QstClaim` (span begin) sorts before
 /// `QstRelease` (span end).
@@ -471,6 +494,27 @@ mod tests {
         assert_eq!(qst_track(0, 0), 128);
         assert_ne!(qst_track(0, 255), qst_track(1, 0));
         assert!(qst_track(23, 239) > TRACK_ISSUE);
+    }
+
+    #[test]
+    fn core_track_namespacing_round_trips_and_keeps_core0_unchanged() {
+        // Core 0 is the identity: single-core traces keep their track ids.
+        for base in [0, TRACK_CACHE, TRACK_SERVE, qst_track(23, 239)] {
+            assert_eq!(core_track(0, base), base);
+        }
+        // Every base track fits inside one lane's namespace.
+        assert!(qst_track(23, 255) < CORE_TRACK_STRIDE);
+        // Distinct lanes never collide, and the encoding round-trips.
+        for core in 0..8 {
+            for base in [TRACK_SERVE, qst_track(3, 7)] {
+                assert_eq!(track_core(core_track(core, base)), (core, base));
+            }
+        }
+        assert_ne!(
+            core_track(1, TRACK_SERVE),
+            core_track(2, TRACK_SERVE),
+            "serve tracks must not collide across lanes"
+        );
     }
 
     #[test]

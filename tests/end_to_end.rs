@@ -173,6 +173,112 @@ fn serial_and_parallel_engines_produce_identical_reports() {
 }
 
 #[test]
+fn multi_core_served_reports_are_identical_across_schedules_and_repeats() {
+    // The multi-core determinism matrix: for chips of 2 and 4 lanes, a
+    // serial engine, a 4-worker engine, and a repeat of the parallel run
+    // must produce byte-identical reports. Lane stepping shares the LLC
+    // and NoC only through the deterministic two-pass arbiter, so the
+    // host schedule must never show through.
+    let spec = dpdk(400, 60, 3, 11);
+    for cores in [2u32, 4] {
+        let load = LoadSpec {
+            tenants: 4 * cores,
+            mean_interarrival: 300,
+            arrivals_per_tenant: 24,
+            cores,
+            ..LoadSpec::default()
+        };
+        let plans = [
+            RunPlan::served(spec, Some(Scheme::CoreIntegrated), load),
+            RunPlan::served(
+                spec,
+                Some(Scheme::ChaTlb),
+                LoadSpec {
+                    blocking: false,
+                    ..load
+                },
+            ),
+            RunPlan::served(spec, None, load),
+        ];
+        let serial = Engine::paper().with_threads(1).run_all(&plans);
+        let parallel = Engine::paper().with_threads(4).run_all(&plans);
+        let repeat = Engine::paper().with_threads(4).run_all(&plans);
+        for (i, ((s, p), r)) in serial.iter().zip(&parallel).zip(&repeat).enumerate() {
+            assert_eq!(
+                s.to_json(),
+                p.to_json(),
+                "cores={cores} plan {i}: serial vs parallel diverged"
+            );
+            assert_eq!(
+                p.to_json(),
+                r.to_json(),
+                "cores={cores} plan {i}: parallel repeat diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_core_load_tag_and_report_shape_are_unchanged() {
+    // cores = 1 must keep the pre-chip report shape: no run.cores key, no
+    // per-lane subtrees, and the same load tag as before the chip existed.
+    let spec = dpdk(400, 60, 3, 11);
+    let load = LoadSpec {
+        tenants: 2,
+        mean_interarrival: 500,
+        arrivals_per_tenant: 24,
+        ..LoadSpec::default()
+    };
+    assert!(
+        !load.tag().contains('c'),
+        "tag {} grew a core fragment",
+        load.tag()
+    );
+    let r = Engine::paper().run(&RunPlan::served(spec, Some(Scheme::CoreIntegrated), load));
+    assert!(r.stats.get("run", "cores").is_none());
+    assert!(r.stats.get("serve_c0", "offered").is_none());
+    assert!(r.stats.get("serve", "contention_cycles").is_none());
+}
+
+#[test]
+fn multi_core_chip_scales_served_throughput() {
+    // A 4-lane chip sustains clearly more aggregate completions per cycle
+    // than one lane at a saturating rate — the scale-out headline.
+    let spec = dpdk(400, 60, 3, 11);
+    let load_for = |cores: u32| LoadSpec {
+        tenants: 4 * cores,
+        mean_interarrival: 150,
+        arrivals_per_tenant: 24,
+        queue_depth: 32,
+        cores,
+        ..LoadSpec::default()
+    };
+    let engine = Engine::paper();
+    let one = engine.run(&RunPlan::served(
+        spec,
+        Some(Scheme::CoreIntegrated),
+        load_for(1),
+    ));
+    let four = engine.run(&RunPlan::served(
+        spec,
+        Some(Scheme::CoreIntegrated),
+        load_for(4),
+    ));
+    let qpmc = |r: &RunReport| r.stats.count("serve", "throughput_qpmc");
+    assert!(
+        qpmc(&four) > 2 * qpmc(&one),
+        "4 lanes {} q/Mc should far out-serve 1 lane {} q/Mc",
+        qpmc(&four),
+        qpmc(&one)
+    );
+    // Per-lane subtrees cover every lane and sum to the aggregate.
+    let offered: u64 = (0..4)
+        .map(|i| four.stats.count(&format!("serve_c{i}"), "offered"))
+        .sum();
+    assert_eq!(offered, four.stats.count("serve", "offered"));
+}
+
+#[test]
 fn served_reports_are_stable_across_engines_and_repeats() {
     // A served run's report is a pure function of (spec, load, scheme):
     // repeated invocations and fresh engines agree byte-for-byte, and the

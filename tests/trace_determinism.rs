@@ -48,6 +48,20 @@ fn chrome_export_is_identical_across_thread_counts() {
                 ..LoadSpec::default()
             },
         ),
+        // A multi-core served plan: every lane's events land in the same
+        // RunTrace with core-namespaced track ids, and the export must stay
+        // schedule-independent like everything else.
+        RunPlan::served(
+            spec,
+            Some(Scheme::CoreIntegrated),
+            LoadSpec {
+                tenants: 8,
+                mean_interarrival: 400,
+                arrivals_per_tenant: 20,
+                cores: 2,
+                ..LoadSpec::default()
+            },
+        ),
     ];
 
     trace::set_tracing(true);
@@ -73,6 +87,16 @@ fn chrome_export_is_identical_across_thread_counts() {
     let (serial_export, serial_reports) = run(1);
     let (parallel_export, parallel_reports) = run(4);
     trace::set_tracing(false);
+
+    // The 2-core plan's trace carries events from both lanes: track ids at
+    // and above the per-core stride appear alongside lane-0 tracks.
+    assert!(
+        serial_export.contains(&format!(
+            "\"tid\":{}",
+            trace::core_track(1, trace::TRACK_SERVE)
+        )),
+        "no lane-1 serve track in the multi-core export"
+    );
 
     assert_eq!(
         serial_reports, parallel_reports,

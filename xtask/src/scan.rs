@@ -360,6 +360,32 @@ mod tests {
     }
 
     #[test]
+    fn chip_and_sharding_modules_fall_under_the_state_rules() {
+        // The multi-core chip surface must stay covered: lane stepping,
+        // slice arbitration, and tenant sharding all feed published numbers.
+        for path in [
+            "crates/sim/src/chip.rs",
+            "crates/cache/src/contention.rs",
+            "crates/serve/src/shard.rs",
+            "crates/serve/src/queue.rs",
+        ] {
+            assert!(
+                in_any(path, &SIM_STATE_CRATES),
+                "{path} escapes hash/float rules"
+            );
+            assert!(
+                in_any(path, &REPORT_CRATES),
+                "{path} escapes the unwrap rule"
+            );
+        }
+        let rule = RULES
+            .iter()
+            .find(|r| r.name == "wall-clock")
+            .unwrap_or_else(|| panic!("wall-clock rule exists"));
+        assert!((rule.applies)("crates/sim/src/chip.rs"));
+    }
+
+    #[test]
     fn float_rule_targets_fields_only() {
         let src = "struct S {\n    util: f64,\n}\nfn util(&self) -> f64 { 0.0 }\nfn go() { let x: f64 = 1.0; }\n";
         let f = ScrubbedFile::new(src);
