@@ -1,0 +1,36 @@
+//! Micro-benches of the static verifier: the full model-checking pass over
+//! every installed CFA and the cost-contract derivation on its own. Both
+//! are on the firmware-install path (a tenant upload blocks on them), so a
+//! regression here is a real serving-latency regression. Results land in
+//! `BENCH_verify.json`; run with `-- --check <baseline>` to gate.
+
+use qei_bench::BenchSuite;
+use std::hint::black_box;
+
+fn bench_verify_all(suite: &mut BenchSuite) {
+    // The whole install-time gate: exploration plus all eight checks plus
+    // the cost analysis, over the seven built-ins and the loadable B+-tree.
+    suite.bench("verify/verify_all", || {
+        let report = qei_verify::verify_all();
+        black_box(report.programs.len() + report.ok() as usize)
+    });
+}
+
+fn bench_contracts_all(suite: &mut BenchSuite) {
+    // Contract derivation alone (widened re-exploration + WCET fold); this
+    // is the part `repro --contracts` pays and what the runtime checker
+    // loads. `contracts_all` recomputes on every call — only
+    // `install_contracts` caches — so the loop times real work.
+    suite.bench("verify/contracts_all", || {
+        let set = qei_verify::contracts_all();
+        let cycles: u64 = set.contracts.iter().map(|c| c.cycles_llc).sum();
+        black_box(cycles)
+    });
+}
+
+fn main() {
+    let mut suite = BenchSuite::from_args("verify");
+    bench_verify_all(&mut suite);
+    bench_contracts_all(&mut suite);
+    suite.finish();
+}

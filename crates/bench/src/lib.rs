@@ -3,6 +3,7 @@
 //! self-contained timing harness (the environment is offline, so no
 //! external bench framework).
 
+#![forbid(unsafe_code)]
 use qei_config::MachineConfig;
 use qei_sim::System;
 use qei_workloads::dpdk::DpdkFib;

@@ -14,6 +14,7 @@
 //! All latencies include the mesh-NoC hops between the requesting tile and
 //! the line's home slice.
 
+#![forbid(unsafe_code)]
 pub mod contention;
 pub mod dram;
 pub mod hierarchy;

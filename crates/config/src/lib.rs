@@ -17,6 +17,8 @@
 //! assert!(scheme.comparators_in_cha());
 //! ```
 
+#![forbid(unsafe_code)]
+pub mod contract;
 pub mod cycles;
 pub mod load;
 pub mod machine;
@@ -25,6 +27,7 @@ pub mod rng;
 pub mod scheme;
 pub mod stats;
 
+pub use contract::CostContract;
 pub use cycles::Cycles;
 pub use load::{AdmissionPolicy, LoadSpec};
 pub use machine::{CacheParams, DramParams, MachineConfig, QeiParams, TlbParams};

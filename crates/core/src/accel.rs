@@ -23,6 +23,7 @@
 //! | Device-indirect | one, behind device interface | dedicated TLB | NoC + interface latency each access |
 //! | Core-integrated | control at the core's L2 | shared L2-TLB | L2 → LLC; compares remote in CHAs |
 
+use crate::contract;
 use crate::ctx::QueryCtx;
 use crate::dpu;
 use crate::fault::{FaultCode, QueryError};
@@ -665,7 +666,10 @@ impl QeiAccelerator {
 
             let op = program.step(&mut ctx, outcome);
             match op {
-                MicroOp::Done { result } => break Ok(result),
+                MicroOp::Done { result } => {
+                    contract::check_completed(&ctx);
+                    break Ok(result);
+                }
                 MicroOp::Fault { code } => break Err(code),
                 other => {
                     if ctx.steps >= STEP_LIMIT {

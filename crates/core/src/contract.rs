@@ -1,0 +1,233 @@
+//! Runtime enforcement of static cost contracts.
+//!
+//! `qei-verify` derives a [`CostContract`] per installed firmware CFA; this
+//! module holds the process-global contract table and the cheap per-query
+//! counters that are debug-asserted against it. An observed counter
+//! exceeding its static bound means the analyzer is unsound or the firmware
+//! regressed past its contract — either way a bug we want to fail loudly on,
+//! so the checks are `debug_assert`-style: free in release builds, fatal in
+//! every `cargo test` run.
+
+use crate::ctx::QueryCtx;
+use qei_config::CostContract;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Observed per-query resource counters, maintained by the DPU as it
+/// executes micro-ops. Mirrors the resource fields of [`CostContract`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// `Read` micro-ops executed.
+    pub read_ops: u64,
+    /// Bytes fetched by `Read` micro-ops.
+    pub read_bytes: u64,
+    /// `Compare` micro-ops executed.
+    pub compare_ops: u64,
+    /// Bytes examined by `Compare` micro-ops.
+    pub compare_bytes: u64,
+    /// `Hash` micro-ops executed.
+    pub hash_ops: u64,
+    /// 1-cycle ALU operations executed (summed `Alu { n }`).
+    pub alu_ops: u64,
+    /// 64-byte lines touched by `Read`/`Compare` micro-ops.
+    pub mem_lines: u64,
+}
+
+impl QueryCost {
+    /// Component-wise max (the observed worst case over a set of queries).
+    pub fn max(self, other: QueryCost) -> QueryCost {
+        QueryCost {
+            read_ops: self.read_ops.max(other.read_ops),
+            read_bytes: self.read_bytes.max(other.read_bytes),
+            compare_ops: self.compare_ops.max(other.compare_ops),
+            compare_bytes: self.compare_bytes.max(other.compare_bytes),
+            hash_ops: self.hash_ops.max(other.hash_ops),
+            alu_ops: self.alu_ops.max(other.alu_ops),
+            mem_lines: self.mem_lines.max(other.mem_lines),
+        }
+    }
+}
+
+static CONTRACTS: OnceLock<BTreeMap<(u8, u8), CostContract>> = OnceLock::new();
+
+/// Installs the process-global contract table. The first successful install
+/// wins (contracts are static per firmware build, so later installs carry
+/// the same data); returns whether this call populated the table.
+pub fn install(contracts: Vec<CostContract>) -> bool {
+    let mut fresh = false;
+    CONTRACTS.get_or_init(|| {
+        fresh = true;
+        contracts
+            .into_iter()
+            .map(|c| ((c.dtype, c.subtype), c))
+            .collect()
+    });
+    fresh
+}
+
+/// Looks up the installed contract for a `(dtype, subtype)` pair, if any.
+pub fn lookup(dtype: u8, subtype: u8) -> Option<&'static CostContract> {
+    CONTRACTS.get()?.get(&(dtype, subtype))
+}
+
+/// Checks a successfully completed query's observed costs against the
+/// installed contract for its structure type. Skips quietly when no
+/// contract is installed or the header sits outside the contract's widening
+/// envelope (possible only via corrupted headers for types whose validation
+/// does not already cap `key_len`/`aux0`). Panics (debug builds only) on
+/// any observed counter exceeding its static bound.
+pub fn check_completed(ctx: &QueryCtx) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let Some(c) = lookup(ctx.header.dtype.to_byte(), ctx.header.subtype) else {
+        return;
+    };
+    if !c.covers(ctx.header.key_len, ctx.header.aux0) {
+        return;
+    }
+    let obs = &ctx.cost;
+    let checks: [(&str, u64, u64); 8] = [
+        ("states", ctx.steps, c.states),
+        ("read_ops", obs.read_ops, c.read_ops),
+        ("read_bytes", obs.read_bytes, c.read_bytes),
+        ("compare_ops", obs.compare_ops, c.compare_ops),
+        ("compare_bytes", obs.compare_bytes, c.compare_bytes),
+        ("hash_ops", obs.hash_ops, c.hash_ops),
+        ("alu_ops", obs.alu_ops, c.alu_ops),
+        ("mem_lines", obs.mem_lines, c.mem_lines),
+    ];
+    for (metric, observed, bound) in checks {
+        assert!(
+            observed <= bound,
+            "cost-contract violation: CFA {} ({}/{}) observed {metric} = {observed} \
+             exceeds the static bound {bound} — the analyzer is unsound or the \
+             firmware regressed past its contract",
+            c.cfa,
+            c.dtype,
+            c.subtype,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{DsType, Header};
+    use qei_mem::VirtAddr;
+
+    fn contract(dtype: u8) -> CostContract {
+        CostContract {
+            cfa: "test-cfa".into(),
+            model: "test-model".into(),
+            dtype,
+            subtype: 0,
+            widen_iters: 8,
+            widen_key_len: 64,
+            widen_aux0: 16,
+            states: 100,
+            read_ops: 10,
+            read_bytes: 640,
+            compare_ops: 10,
+            compare_bytes: 640,
+            hash_ops: 2,
+            alu_ops: 40,
+            mem_lines: 40,
+            cycles_l1: 1_000,
+            cycles_l2: 2_000,
+            cycles_llc: 3_000,
+            cycles_dram: 4_000,
+        }
+    }
+
+    fn ctx_for(dtype: DsType, key_len: u16, aux0: u64) -> QueryCtx {
+        let header = Header {
+            ds_ptr: VirtAddr(0x1000),
+            dtype,
+            subtype: 0,
+            key_len,
+            flags: 0,
+            capacity: 1,
+            aux0,
+            aux1: 0,
+            aux2: 0,
+        };
+        QueryCtx::new(header, vec![0; key_len as usize])
+    }
+
+    #[test]
+    fn install_is_first_wins_and_lookup_resolves() {
+        // The table is process-global; install a known pair and check that a
+        // second install does not repopulate.
+        install(vec![contract(200)]);
+        let repopulated = install(vec![contract(201)]);
+        assert!(!repopulated, "second install must not win");
+        if lookup(200, 0).is_some() {
+            // This test ran first: the winning table is ours.
+            assert!(lookup(201, 0).is_none());
+            assert_eq!(lookup(200, 0).map(|c| c.states), Some(100));
+        }
+    }
+
+    #[test]
+    fn in_bounds_query_passes_and_out_of_envelope_is_skipped() {
+        install(vec![contract(200)]);
+        if lookup(200, 0).is_none() {
+            return; // another test's install won the global table
+        }
+        let mut ctx = ctx_for(DsType::Custom(200), 8, 1);
+        ctx.steps = 5;
+        ctx.cost.read_ops = 2;
+        ctx.cost.read_bytes = 48;
+        check_completed(&ctx);
+
+        // Outside the envelope: wildly over-bound counters are not checked.
+        let mut wide = ctx_for(DsType::Custom(200), 8, 17);
+        wide.steps = 1_000_000;
+        wide.cost.read_bytes = u64::MAX;
+        check_completed(&wide);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "contract checks are debug-only")]
+    fn over_bound_counter_panics() {
+        install(vec![contract(200)]);
+        if lookup(200, 0).is_none() {
+            return;
+        }
+        let mut ctx = ctx_for(DsType::Custom(200), 8, 1);
+        ctx.steps = 101; // states bound is 100
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check_completed(&ctx)));
+        assert!(err.is_err(), "over-bound states must panic in debug builds");
+    }
+
+    #[test]
+    fn query_cost_max_is_componentwise() {
+        let a = QueryCost {
+            read_ops: 1,
+            read_bytes: 100,
+            compare_ops: 5,
+            compare_bytes: 0,
+            hash_ops: 2,
+            alu_ops: 3,
+            mem_lines: 7,
+        };
+        let b = QueryCost {
+            read_ops: 4,
+            read_bytes: 50,
+            compare_ops: 1,
+            compare_bytes: 9,
+            hash_ops: 2,
+            alu_ops: 8,
+            mem_lines: 2,
+        };
+        let m = a.max(b);
+        assert_eq!(m.read_ops, 4);
+        assert_eq!(m.read_bytes, 100);
+        assert_eq!(m.compare_ops, 5);
+        assert_eq!(m.compare_bytes, 9);
+        assert_eq!(m.hash_ops, 2);
+        assert_eq!(m.alu_ops, 8);
+        assert_eq!(m.mem_lines, 7);
+    }
+}

@@ -1,5 +1,6 @@
 //! Per-query execution context — the software view of one QST entry.
 
+use crate::contract::QueryCost;
 use crate::header::Header;
 use qei_mem::bytes::{le_u16, le_u64};
 use qei_mem::VirtAddr;
@@ -30,6 +31,9 @@ pub struct QueryCtx {
     pub line: Vec<u8>,
     /// Micro-ops executed so far (watchdog input).
     pub steps: u64,
+    /// Observed resource counters (checked against the static cost
+    /// contract for this structure type on successful completion).
+    pub cost: QueryCost,
 }
 
 impl QueryCtx {
@@ -46,6 +50,7 @@ impl QueryCtx {
             scratch: [0; 8],
             line: Vec::new(),
             steps: 0,
+            cost: QueryCost::default(),
         }
     }
 

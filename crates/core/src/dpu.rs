@@ -54,10 +54,16 @@ pub fn execute(mem: &GuestMem, ctx: &mut QueryCtx, op: MicroOp) -> Result<OpOutc
     ctx.steps += 1;
     match op {
         MicroOp::Read { addr, len } => {
+            ctx.cost.read_ops += 1;
+            ctx.cost.read_bytes += len as u64;
+            ctx.cost.mem_lines += span_lines(addr.0, len);
             ctx.line = mem.read_vec(addr, len as usize).map_err(FaultCode::from)?;
             Ok(OpOutcome::Data)
         }
         MicroOp::Compare { addr, len, key_off } => {
+            ctx.cost.compare_ops += 1;
+            ctx.cost.compare_bytes += len as u64;
+            ctx.cost.mem_lines += span_lines(addr.0, len);
             let stored = mem.read_vec(addr, len as usize).map_err(FaultCode::from)?;
             // Clamp the key window like the comparator's mux would: an
             // out-of-range offset compares against an empty slice rather
@@ -69,12 +75,31 @@ pub fn execute(mem: &GuestMem, ctx: &mut QueryCtx, op: MicroOp) -> Result<OpOutc
             let query = &ctx.key[start..end];
             Ok(OpOutcome::Cmp(compare_bytes(&stored, query)))
         }
-        MicroOp::Hash { seed } => Ok(OpOutcome::Hashed(hash_bytes(seed, &ctx.key))),
-        MicroOp::Alu { .. } => Ok(OpOutcome::AluDone),
+        MicroOp::Hash { seed } => {
+            ctx.cost.hash_ops += 1;
+            Ok(OpOutcome::Hashed(hash_bytes(seed, &ctx.key)))
+        }
+        MicroOp::Alu { n } => {
+            ctx.cost.alu_ops += n as u64;
+            Ok(OpOutcome::AluDone)
+        }
         MicroOp::Done { .. } | MicroOp::Fault { .. } => {
             panic!("terminal micro-op reached the DPU")
         }
     }
+}
+
+/// 64-byte lines a `[addr, addr+len)` span touches, tolerant of the corrupt
+/// operands a fuzzed header can produce (`len == 0`, spans wrapping the
+/// address space) — the fetch itself faults on those, but the counter
+/// update runs first and must not trip overflow checks.
+fn span_lines(addr: u64, len: u32) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let start = addr >> 6;
+    let end = addr.saturating_add(len as u64 - 1) >> 6;
+    end - start + 1
 }
 
 /// Comparator semantics: lexicographic (memcmp) ordering of stored bytes

@@ -3,6 +3,7 @@
 //! model in [`crate::accel`] walks the same steps and must produce the same
 //! answer (the repo's central property test).
 
+use crate::contract::{self, QueryCost};
 use crate::ctx::QueryCtx;
 use crate::dpu;
 use crate::fault::FaultCode;
@@ -25,40 +26,61 @@ pub fn run_query(
     header_addr: VirtAddr,
     key_addr: VirtAddr,
 ) -> Result<u64, FaultCode> {
-    let header = Header::read_from(mem, header_addr)?;
-    let key = mem
-        .read_vec(key_addr, header.key_len as usize)
-        .map_err(FaultCode::from)?;
-    let program = firmware
-        .lookup(header.dtype.to_byte(), header.subtype)
-        .ok_or(FaultCode::UnknownType)?
-        .clone();
+    run_query_counted(firmware, mem, header_addr, key_addr).0
+}
+
+/// [`run_query`], additionally returning the observed resource counters and
+/// the number of micro-ops executed. The counters feed the cost-contract
+/// soundness tests; `run_query` itself already debug-asserts them against
+/// the installed contract on successful completion.
+pub fn run_query_counted(
+    firmware: &FirmwareStore,
+    mem: &GuestMem,
+    header_addr: VirtAddr,
+    key_addr: VirtAddr,
+) -> (Result<u64, FaultCode>, QueryCost, u64) {
+    let header = match Header::read_from(mem, header_addr) {
+        Ok(h) => h,
+        Err(code) => return (Err(code), QueryCost::default(), 0),
+    };
+    let key = match mem.read_vec(key_addr, header.key_len as usize) {
+        Ok(k) => k,
+        Err(e) => return (Err(FaultCode::from(e)), QueryCost::default(), 0),
+    };
+    let Some(program) = firmware.lookup(header.dtype.to_byte(), header.subtype) else {
+        return (Err(FaultCode::UnknownType), QueryCost::default(), 0);
+    };
+    let program = program.clone();
 
     let mut ctx = QueryCtx::new(header, key);
     let mut outcome = OpOutcome::Start;
-    loop {
+    let result = loop {
         let op = program.step(&mut ctx, outcome);
         match op {
-            MicroOp::Done { result } => return Ok(result),
+            MicroOp::Done { result } => {
+                contract::check_completed(&ctx);
+                break Ok(result);
+            }
             MicroOp::Fault { code } => {
                 ctx.state = STATE_EXCEPTION;
-                return Err(code);
+                break Err(code);
             }
             other => {
                 if ctx.steps >= STEP_LIMIT {
                     ctx.state = STATE_EXCEPTION;
-                    return Err(FaultCode::StepLimit);
+                    break Err(FaultCode::StepLimit);
                 }
                 match dpu::execute(mem, &mut ctx, other) {
                     Ok(o) => outcome = o,
                     Err(code) => {
                         ctx.state = STATE_EXCEPTION;
-                        return Err(code);
+                        break Err(code);
                     }
                 }
             }
         }
-    }
+    };
+    (result, ctx.cost, ctx.steps)
 }
 
 #[cfg(test)]

@@ -25,7 +25,9 @@
 //! against the cache/NoC/TLB substrate under one of the five
 //! [`qei_config::Scheme`] integration schemes.
 
+#![forbid(unsafe_code)]
 pub mod accel;
+pub mod contract;
 pub mod ctx;
 pub mod dpu;
 pub mod exec;
@@ -36,8 +38,9 @@ pub mod qst;
 pub mod uop;
 
 pub use accel::{AccelStats, QeiAccelerator, QueryOutcome, QueryRequest, SubmitCtx};
+pub use contract::QueryCost;
 pub use ctx::QueryCtx;
-pub use exec::run_query;
+pub use exec::{run_query, run_query_counted};
 pub use fault::{FaultCode, QueryError};
 pub use firmware::{CfaProgram, FirmwareStore};
 pub use header::{DsType, Header, HEADER_BYTES};

@@ -16,6 +16,7 @@
 //! model. This keeps the core model ignorant of the accelerator's internals
 //! while still co-simulating the two.
 
+#![forbid(unsafe_code)]
 pub mod core;
 pub mod engine;
 pub mod predict;

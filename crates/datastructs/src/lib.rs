@@ -19,6 +19,7 @@
 //! object tree (BST), and an Aho–Corasick trie for Snort-style literal
 //! matching.
 
+#![forbid(unsafe_code)]
 pub mod ac_trie;
 pub mod baseline;
 pub mod bplus_tree;

@@ -12,6 +12,8 @@
 //! repro --profile fig7 # print per-phase wall time per plan to stderr
 //! repro --trace t.json smoke  # also write a Chrome trace-event JSON
 //! repro --verify       # model-check every installed firmware CFA
+//! repro --contracts    # print the static cost contracts (CONTRACTS.json)
+//! repro --contracts --check  # fail if committed CONTRACTS.json drifted
 //! ```
 //!
 //! `--trace <path>` enables the deterministic event layer for the whole
@@ -23,6 +25,14 @@
 //! data-structure CFAs plus the loadable B+-tree, prints the JSON report to
 //! stdout (also written to the path in `QEI_VERIFY_OUT`, if set), and exits
 //! nonzero if any program fails a check. It takes no experiment argument.
+//!
+//! `--contracts` derives the static worst-case cost contract for every
+//! shipped CFA and prints the `qei-contract-v1` JSON (also written to the
+//! path in `QEI_CONTRACTS_OUT`, if set). With `--check` it instead compares
+//! against the committed `./CONTRACTS.json` byte-for-byte and exits nonzero
+//! on drift — the CI gate that firmware or analyzer changes re-commit their
+//! bounds. The output is computed single-threaded, so it is byte-identical
+//! regardless of `--serial` / `--jobs`.
 
 use qei_experiments::{
     ablations, fig1, fig10, fig11, fig12, fig7, fig8, fig9, load_sweep, smoke, suite, tab1, tab2,
@@ -33,7 +43,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--profile] [--trace FILE] [--serial | --jobs N] [--cores LIST] <experiment|all>\n       repro --verify\n  experiments: {}\n  --cores 1,2,4,8 selects chip sizes for the load-sweep scaling table",
+        "usage: repro [--quick] [--profile] [--trace FILE] [--serial | --jobs N] [--cores LIST] <experiment|all>\n       repro --verify\n       repro --contracts [--check]\n  experiments: {}\n  --cores 1,2,4,8 selects chip sizes for the load-sweep scaling table",
         qei_experiments::ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -63,6 +73,55 @@ fn verify() -> ! {
             eprintln!("[repro] {}: [{}] {}", p.cfa, d.check.id(), d.detail);
         }
     }
+    std::process::exit(1);
+}
+
+/// The committed contract artifact the `--check` gate compares against.
+const CONTRACTS_PATH: &str = "CONTRACTS.json";
+
+/// Derives the cost contracts; either prints them or gates against the
+/// committed artifact.
+fn contracts(check: bool) -> ! {
+    let set = qei_verify::contracts_all();
+    let json = set.to_json();
+    if let Ok(path) = std::env::var("QEI_CONTRACTS_OUT") {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("[repro] cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] contracts written to {path}");
+    }
+    if !check {
+        print!("{json}");
+        eprintln!("[repro] derived {} cost contracts", set.contracts.len());
+        std::process::exit(0);
+    }
+    let committed = match std::fs::read_to_string(CONTRACTS_PATH) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "[repro] cannot read {CONTRACTS_PATH}: {e}\n\
+                 [repro] generate it with: repro --contracts > {CONTRACTS_PATH}"
+            );
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = qei_verify::ContractSet::parse(&committed) {
+        eprintln!("[repro] committed {CONTRACTS_PATH} is malformed: {e}");
+        std::process::exit(1);
+    }
+    if committed == json {
+        eprintln!(
+            "[repro] {CONTRACTS_PATH} is current ({} contracts)",
+            set.contracts.len()
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "[repro] {CONTRACTS_PATH} drifted from the analyzer's output.\n\
+         [repro] firmware or analyzer changes moved the bounds; review them and\n\
+         [repro] re-commit with: repro --contracts > {CONTRACTS_PATH}"
+    );
     std::process::exit(1);
 }
 
@@ -97,6 +156,19 @@ fn main() {
         let jobs: usize = args[pos + 1].parse().unwrap_or_else(|_| usage());
         args.drain(pos..=pos + 1);
         qei_sim::engine::set_default_threads(jobs);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--contracts") {
+        args.remove(pos);
+        let check = if let Some(p) = args.iter().position(|a| a == "--check") {
+            args.remove(p);
+            true
+        } else {
+            false
+        };
+        if !args.is_empty() {
+            usage();
+        }
+        contracts(check);
     }
     let mut cores_list: Option<Vec<u32>> = None;
     if let Some(pos) = args.iter().position(|a| a == "--cores") {

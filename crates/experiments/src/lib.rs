@@ -9,6 +9,7 @@
 //! paper-vs-measured and checks the *shapes*: which scheme wins, by roughly
 //! what factor, and where the crossovers fall.
 
+#![forbid(unsafe_code)]
 pub mod ablations;
 pub mod fig1;
 pub mod fig10;

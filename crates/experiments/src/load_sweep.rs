@@ -44,6 +44,11 @@ pub struct LoadPoint {
     pub rejects: u64,
     /// Backed-off resubmissions.
     pub retries: u64,
+    /// Static per-query service-cycle bound from the served structure's
+    /// cost contract.
+    pub contract_bound: u64,
+    /// Bound-vs-observed service ratio, integer percent (100 = exact).
+    pub contract_tightness: u64,
 }
 
 /// One backend's full sweep.
@@ -95,6 +100,8 @@ fn point(load: &LoadSpec, r: &RunReport) -> LoadPoint {
         p99: r.stats.count("serve", "latency_p99"),
         rejects: r.stats.count("serve", "rejects"),
         retries: r.stats.count("serve", "retries"),
+        contract_bound: r.stats.count("serve", "contract_bound"),
+        contract_tightness: r.stats.count("serve", "contract_tightness"),
     }
 }
 
@@ -151,7 +158,7 @@ pub fn rows(scale: Scale) -> Vec<LoadSweepRow> {
 pub fn render(scale: Scale) -> String {
     let rows = rows(scale);
     let header = [
-        "backend", "offered", "achieved", "p50", "p90", "p99", "rejects", "retries",
+        "backend", "offered", "achieved", "p50", "p90", "p99", "rejects", "retries", "tight%",
     ];
     let mut body = Vec::new();
     for row in &rows {
@@ -165,11 +172,12 @@ pub fn render(scale: Scale) -> String {
                 p.p99.to_string(),
                 p.rejects.to_string(),
                 p.retries.to_string(),
+                p.contract_tightness.to_string(),
             ]);
         }
     }
     let mut out = render::table(
-        "Load sweep — served DPDK throughput (queries/Mcycle) and client latency vs offered load (QEI knees above software)",
+        "Load sweep — served DPDK throughput (queries/Mcycle) and client latency vs offered load (QEI knees above software; tight% = static contract bound over observed mean service)",
         &header,
         &body,
     );
@@ -342,6 +350,28 @@ mod tests {
                 row.tenants_at_knee.len(),
                 LoadSpec::default().tenants as usize
             );
+        }
+        // Every backend reports the contract bound, and on the accelerated
+        // backends the static bound covers the observed mean service time
+        // (tightness >= 100%): the soundness signal admission relies on.
+        for row in &rows {
+            for p in &row.points {
+                assert!(
+                    p.contract_bound > 0,
+                    "{}: served DPDK structure must have a contract",
+                    row.backend
+                );
+            }
+            if row.backend.starts_with("qei") {
+                for p in &row.points {
+                    assert!(
+                        p.contract_tightness >= 100,
+                        "{}: bound below observed mean (tightness {}%)",
+                        row.backend,
+                        p.contract_tightness
+                    );
+                }
+            }
         }
     }
 

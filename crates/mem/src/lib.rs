@@ -19,6 +19,7 @@
 //! assert_eq!(mem.read_u64(p).unwrap(), 0xdead_beef);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod addr;
 pub mod bytes;
 pub mod error;

@@ -16,6 +16,7 @@
 //! assert!(lat.as_u64() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 use qei_config::{Cycles, MachineConfig};
 use qei_trace::{Event, EventBuf, EventKind, TRACK_NOC};
 

@@ -15,6 +15,7 @@
 //!   micro-ops, cache accesses, accelerator micro-ops) into per-query
 //!   dynamic energy for the Fig. 12 comparison.
 
+#![forbid(unsafe_code)]
 pub mod area;
 pub mod dynamic;
 pub mod leakage;

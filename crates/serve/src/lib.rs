@@ -22,6 +22,7 @@
 //! a served run's report is byte-identical across `--serial` and `--jobs N`
 //! and across processes.
 
+#![forbid(unsafe_code)]
 pub mod arrival;
 pub mod queue;
 pub mod shard;

@@ -68,6 +68,13 @@ pub struct ServeStats {
     pub peak_queue: u32,
     /// Cycle the last result was observed (the run's simulated span).
     pub horizon: u64,
+    /// Static per-query service-cycle bound from the served structure's cost
+    /// contract (`CostContract::service_bound`), 0 when no contract covers
+    /// the workload.
+    pub contract_bound: u64,
+    /// Observed mean per-query service cycles the backend actually charged,
+    /// 0 when nothing completed.
+    pub service_estimate: u64,
 }
 
 impl ServeStats {
@@ -77,7 +84,19 @@ impl ServeStats {
             tenants: vec![TenantStats::default(); tenants as usize],
             peak_queue: 0,
             horizon: 0,
+            contract_bound: 0,
+            service_estimate: 0,
         }
+    }
+
+    /// Bound-vs-observed service-time ratio as an integer percentage
+    /// (`100` = the bound equals the observed mean; larger = looser bound).
+    /// 0 until both sides are known.
+    pub fn contract_tightness(&self) -> u64 {
+        self.contract_bound
+            .saturating_mul(100)
+            .checked_div(self.service_estimate)
+            .unwrap_or(0)
     }
 
     /// The given tenant's mutable stats.
@@ -167,6 +186,8 @@ impl ServeStats {
         reg.set(g, "peak_queue_depth", self.peak_queue as u64);
         reg.set(g, "horizon_cycles", self.horizon);
         reg.set(g, "throughput_qpmc", self.throughput_qpmc());
+        reg.set(g, "contract_bound", self.contract_bound);
+        reg.set(g, "contract_tightness", self.contract_tightness());
         let all = self.latency();
         reg.set(g, "latency", &all);
         reg.set(g, "latency_p50", all.p50());
@@ -208,6 +229,11 @@ impl ServeStats {
         }
         self.peak_queue = self.peak_queue.max(lane.peak_queue);
         self.horizon = self.horizon.max(lane.horizon);
+        // Lanes share one firmware store and workload mix: the bound is the
+        // same everywhere, and the chip-level estimate conservatively takes
+        // the slowest lane's mean.
+        self.contract_bound = self.contract_bound.max(lane.contract_bound);
+        self.service_estimate = self.service_estimate.max(lane.service_estimate);
     }
 
     /// Exports this lane's aggregate view under the per-core subtree
@@ -227,6 +253,8 @@ impl ServeStats {
         reg.set(&g, "peak_queue_depth", self.peak_queue as u64);
         reg.set(&g, "horizon_cycles", self.horizon);
         reg.set(&g, "throughput_qpmc", self.throughput_qpmc());
+        reg.set(&g, "contract_bound", self.contract_bound);
+        reg.set(&g, "contract_tightness", self.contract_tightness());
         let all = self.latency();
         reg.set(&g, "latency_p50", all.p50());
         reg.set(&g, "latency_p90", all.p90());
@@ -328,6 +356,38 @@ mod tests {
         assert_eq!(reg.count("serve_c3", "throughput_qpmc"), 300);
         assert!(reg.get("serve_c3", "latency_p99").is_some());
         assert!(reg.get("serve", "offered").is_none(), "no aggregate leak");
+    }
+
+    #[test]
+    fn contract_tightness_is_an_integer_percentage() {
+        let mut s = ServeStats::new(1);
+        assert_eq!(s.contract_tightness(), 0, "unknown until both sides set");
+        s.contract_bound = 4_000;
+        assert_eq!(s.contract_tightness(), 0, "no estimate yet");
+        s.service_estimate = 800;
+        assert_eq!(s.contract_tightness(), 500, "bound is 5x the mean");
+        let mut reg = StatsRegistry::new();
+        s.export_into(&mut reg);
+        assert_eq!(reg.count("serve", "contract_bound"), 4_000);
+        assert_eq!(reg.count("serve", "contract_tightness"), 500);
+        let mut core = StatsRegistry::new();
+        s.export_core_into(&mut core, 0);
+        assert_eq!(core.count("serve_c0", "contract_tightness"), 500);
+    }
+
+    #[test]
+    fn lane_merge_keeps_the_slowest_lane_estimate() {
+        let mut chip = ServeStats::new(1);
+        let mut lane0 = ServeStats::new(1);
+        lane0.contract_bound = 4_000;
+        lane0.service_estimate = 500;
+        let mut lane1 = ServeStats::new(1);
+        lane1.contract_bound = 4_000;
+        lane1.service_estimate = 700;
+        chip.merge_lane(&lane0);
+        chip.merge_lane(&lane1);
+        assert_eq!(chip.contract_bound, 4_000);
+        assert_eq!(chip.service_estimate, 700);
     }
 
     #[test]

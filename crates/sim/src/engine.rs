@@ -21,7 +21,7 @@ use crate::report::{CoreLaneData, QeiRunData, RunReport, ServedRunData};
 use crate::{build_qei_trace_blocking, build_qei_trace_nonblocking, QeiBus, System, NB_BATCH};
 use qei_cache::MemoryHierarchy;
 use qei_config::{Cycles, LoadSpec, MachineConfig, Scheme};
-use qei_core::{FaultCode, QeiAccelerator, QueryOutcome, QueryRequest, SubmitCtx};
+use qei_core::{AccelStats, FaultCode, QeiAccelerator, QueryOutcome, QueryRequest, SubmitCtx};
 use qei_cpu::{CoreModel, MemBus, Trace};
 use qei_mem::{GuestMem, VirtAddr};
 use qei_serve::{run_load, run_load_lane, QueryBackend, ServeStats};
@@ -533,6 +533,10 @@ impl Engine {
     /// Panics if functional results disagree with the workload's ground
     /// truth — that is a simulator bug, not a measurement.
     pub fn run(&self, plan: &RunPlan) -> RunReport {
+        // Arm the runtime cost-contract checker (debug builds assert every
+        // successful completion against its static bound). Idempotent and
+        // cached after the first call.
+        qei_verify::install_contracts();
         let started = Instant::now();
         let mut config = self.config.clone();
         plan.overrides.apply(&mut config);
@@ -913,6 +917,24 @@ impl Engine {
         }
     }
 
+    /// Static service-cycle bound for the served structure, from the
+    /// shipped cost contracts: the first job's header identifies the
+    /// `(dtype, subtype)` pair (a served workload queries one structure
+    /// type). 0 when the header is unreadable or no contract covers it.
+    fn served_contract_bound(workload: &dyn Workload, guest: &GuestMem) -> u64 {
+        qei_verify::install_contracts();
+        let Some(job) = workload.jobs().first() else {
+            return 0;
+        };
+        let Ok(h) = qei_core::Header::read_from(guest, job.header_addr) else {
+            return 0;
+        };
+        qei_core::contract::lookup(h.dtype.to_byte(), h.subtype)
+            .filter(|c| c.covers(h.key_len, h.aux0))
+            .map(qei_config::CostContract::service_bound)
+            .unwrap_or(0)
+    }
+
     /// Served run over the software baseline: prices the baseline ROI once
     /// (warm-up + measured, exactly like [`Engine::execute_baseline`]) to
     /// calibrate an integer per-query service time, then serves the load
@@ -952,17 +974,21 @@ impl Engine {
         // "chip" has no shared accelerator state to contend on, so lanes
         // are fully independent).
         let n_jobs = workload.jobs().len() as u32;
+        let contract_bound = Self::served_contract_bound(workload, sys.guest());
         let mut serve: Option<ServeStats> = None;
         let mut lane_serves = Vec::new();
         let mut trace_sources = Vec::new();
         for lane in 0..load.cores {
             let mut backend = CalibratedBackend {
                 service,
+                contract_bound,
                 free_at: 0,
                 expected: workload.expected(),
             };
             let mut events = qei_trace::EventBuf::new();
-            let lane_serve = run_load_lane(&load, n_jobs, lane, &mut backend, &mut events);
+            let mut lane_serve = run_load_lane(&load, n_jobs, lane, &mut backend, &mut events);
+            lane_serve.contract_bound = backend.contract_bound;
+            lane_serve.service_estimate = backend.service;
             let (mut evs, dropped) = events.drain();
             if lane > 0 {
                 for ev in &mut evs {
@@ -1045,8 +1071,10 @@ impl Engine {
         tag: &str,
         threads: usize,
     ) -> RunReport {
-        let outcome =
+        let mut outcome =
             chip::run_served_qei(sys.config(), sys.guest(), workload, &load, scheme, threads);
+        outcome.serve.contract_bound = Self::served_contract_bound(workload, sys.guest());
+        outcome.serve.service_estimate = Self::accel_service_estimate(&outcome.accel);
         let phase = Instant::now();
         let mode = RunMode::Served { load };
         Self::collect_trace(
@@ -1089,6 +1117,15 @@ impl Engine {
         );
         Self::emit_lane_profile(&outcome.lanes, outcome.merge);
         report
+    }
+
+    /// Mean observed submit-to-completion cycles of successful accelerated
+    /// queries — the dynamic side of the bound-vs-observed tightness ratio.
+    fn accel_service_estimate(accel: &AccelStats) -> u64 {
+        accel
+            .latency_sum
+            .checked_div(accel.queries.saturating_sub(accel.faults))
+            .unwrap_or(0)
     }
 
     /// Prints the per-lane phase breakdown under `--profile`: each lane's
@@ -1152,8 +1189,10 @@ impl Engine {
         backend.accel.reset_epoch();
         backend.mem.reset_epoch();
         let mut events = qei_trace::EventBuf::new();
-        let serve = run_load(&load, n_jobs as u32, &mut backend, &mut events);
+        let mut serve = run_load(&load, n_jobs as u32, &mut backend, &mut events);
         let measured = phase.elapsed();
+        serve.contract_bound = Self::served_contract_bound(workload, backend.guest);
+        serve.service_estimate = Self::accel_service_estimate(&backend.accel.stats());
 
         let phase = Instant::now();
         let mode = RunMode::Served { load };
@@ -1190,6 +1229,10 @@ impl Engine {
 struct CalibratedBackend<'a> {
     /// Calibrated integer service cycles per query.
     service: u64,
+    /// Static worst-case service cycles from the served structure's cost
+    /// contract (0 when uncovered) — the admission-facing a-priori estimate
+    /// the serve layer reports alongside the calibrated observation.
+    contract_bound: u64,
     /// When the server frees up.
     free_at: u64,
     expected: &'a [u64],

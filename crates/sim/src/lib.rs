@@ -19,6 +19,7 @@
 //! measures, and verifies functional results against the workload's ground
 //! truth.
 
+#![forbid(unsafe_code)]
 pub mod bus;
 pub(crate) mod chip;
 pub mod engine;

@@ -24,6 +24,7 @@
 //! tracing`, Perfetto): one process per plan, one track (`tid`) per
 //! core/QST entry, cycle timestamps rendered as integer microseconds.
 
+#![forbid(unsafe_code)]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
 

@@ -1,0 +1,435 @@
+//! The committed `CONTRACTS.json` artifact: a deterministic, hand-rolled
+//! encoding of every installed CFA's [`CostContract`] (schema
+//! `qei-contract-v1`), plus a strict parser for the drift gate. Encoding is
+//! purely a function of the contract values — no timestamps, no float
+//! formatting, no map iteration order — so repeated `repro --contracts`
+//! runs are byte-identical at any thread count.
+
+use qei_config::CostContract;
+
+/// The artifact schema tag. Bump when the contract field set changes; the
+/// parser rejects anything else with a clear error.
+pub const CONTRACT_SCHEMA: &str = "qei-contract-v1";
+
+/// An ordered set of contracts (sorted by `(dtype, subtype)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractSet {
+    /// The per-structure contracts.
+    pub contracts: Vec<CostContract>,
+}
+
+/// The numeric fields of a contract, in serialization order.
+const NUM_FIELDS: [&str; 17] = [
+    "dtype",
+    "subtype",
+    "widen_iters",
+    "widen_key_len",
+    "widen_aux0",
+    "states",
+    "read_ops",
+    "read_bytes",
+    "compare_ops",
+    "compare_bytes",
+    "hash_ops",
+    "alu_ops",
+    "mem_lines",
+    "cycles_l1",
+    "cycles_l2",
+    "cycles_llc",
+    "cycles_dram",
+];
+
+fn num_field(c: &CostContract, name: &str) -> u64 {
+    match name {
+        "dtype" => c.dtype as u64,
+        "subtype" => c.subtype as u64,
+        "widen_iters" => c.widen_iters,
+        "widen_key_len" => c.widen_key_len as u64,
+        "widen_aux0" => c.widen_aux0,
+        "states" => c.states,
+        "read_ops" => c.read_ops,
+        "read_bytes" => c.read_bytes,
+        "compare_ops" => c.compare_ops,
+        "compare_bytes" => c.compare_bytes,
+        "hash_ops" => c.hash_ops,
+        "alu_ops" => c.alu_ops,
+        "mem_lines" => c.mem_lines,
+        "cycles_l1" => c.cycles_l1,
+        "cycles_l2" => c.cycles_l2,
+        "cycles_llc" => c.cycles_llc,
+        "cycles_dram" => c.cycles_dram,
+        _ => unreachable!("unknown contract field {name}"),
+    }
+}
+
+fn set_num_field(c: &mut CostContract, name: &str, v: u64) -> Result<(), String> {
+    let narrow8 = |v: u64| -> Result<u8, String> {
+        u8::try_from(v).map_err(|_| format!("field {name} = {v} does not fit in u8"))
+    };
+    match name {
+        "dtype" => c.dtype = narrow8(v)?,
+        "subtype" => c.subtype = narrow8(v)?,
+        "widen_iters" => c.widen_iters = v,
+        "widen_key_len" => {
+            c.widen_key_len =
+                u32::try_from(v).map_err(|_| format!("field {name} = {v} does not fit in u32"))?;
+        }
+        "widen_aux0" => c.widen_aux0 = v,
+        "states" => c.states = v,
+        "read_ops" => c.read_ops = v,
+        "read_bytes" => c.read_bytes = v,
+        "compare_ops" => c.compare_ops = v,
+        "compare_bytes" => c.compare_bytes = v,
+        "hash_ops" => c.hash_ops = v,
+        "alu_ops" => c.alu_ops = v,
+        "mem_lines" => c.mem_lines = v,
+        "cycles_l1" => c.cycles_l1 = v,
+        "cycles_l2" => c.cycles_l2 = v,
+        "cycles_llc" => c.cycles_llc = v,
+        "cycles_dram" => c.cycles_dram = v,
+        other => return Err(format!("unknown contract field \"{other}\"")),
+    }
+    Ok(())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl ContractSet {
+    /// Renders the deterministic artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_str(CONTRACT_SCHEMA)));
+        out.push_str("  \"contracts\": [");
+        for (i, c) in self.contracts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"cfa\": {},\n", json_str(&c.cfa)));
+            out.push_str(&format!("      \"model\": {},\n", json_str(&c.model)));
+            for (j, name) in NUM_FIELDS.iter().enumerate() {
+                let sep = if j + 1 == NUM_FIELDS.len() { "" } else { "," };
+                out.push_str(&format!("      \"{name}\": {}{sep}\n", num_field(c, name)));
+            }
+            out.push_str("    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Strict parse of a committed artifact. Rejects unknown schemas and
+    /// unknown fields with a clear error instead of skipping them.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    pub fn parse(text: &str) -> Result<ContractSet, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let schema_key = p.string()?;
+        if schema_key != "schema" {
+            return Err(format!("expected \"schema\" first, found \"{schema_key}\""));
+        }
+        p.expect(b':')?;
+        let schema = p.string()?;
+        if schema != CONTRACT_SCHEMA {
+            return Err(format!(
+                "unknown contract schema \"{schema}\" (this build reads \"{CONTRACT_SCHEMA}\"); \
+                 regenerate CONTRACTS.json with `repro --contracts`"
+            ));
+        }
+        p.expect(b',')?;
+        let key = p.string()?;
+        if key != "contracts" {
+            return Err(format!("expected \"contracts\", found \"{key}\""));
+        }
+        p.expect(b':')?;
+        p.expect(b'[')?;
+        let mut contracts = Vec::new();
+        p.skip_ws();
+        if p.peek() == Some(b']') {
+            p.pos += 1;
+        } else {
+            loop {
+                contracts.push(p.contract()?);
+                p.skip_ws();
+                match p.next_byte()? {
+                    b',' => continue,
+                    b']' => break,
+                    other => return Err(format!("expected ',' or ']', found '{}'", other as char)),
+                }
+            }
+        }
+        p.expect(b'}')?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err("trailing bytes after the closing brace".to_string());
+        }
+        Ok(ContractSet { contracts })
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next_byte(&mut self) -> Result<u8, String> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        let got = self.next_byte()?;
+        if got != want {
+            return Err(format!(
+                "expected '{}', found '{}' at byte {}",
+                want as char,
+                got as char,
+                self.pos - 1
+            ));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_byte()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next_byte()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next_byte()? as char;
+                            v = v * 16
+                                + d.to_digit(16)
+                                    .ok_or_else(|| format!("bad \\u escape digit '{d}'"))?;
+                        }
+                        out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                },
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "number out of range".to_string())
+    }
+
+    fn contract(&mut self) -> Result<CostContract, String> {
+        self.expect(b'{')?;
+        let mut c = CostContract {
+            cfa: String::new(),
+            model: String::new(),
+            dtype: 0,
+            subtype: 0,
+            widen_iters: 0,
+            widen_key_len: 0,
+            widen_aux0: 0,
+            states: 0,
+            read_ops: 0,
+            read_bytes: 0,
+            compare_ops: 0,
+            compare_bytes: 0,
+            hash_ops: 0,
+            alu_ops: 0,
+            mem_lines: 0,
+            cycles_l1: 0,
+            cycles_l2: 0,
+            cycles_llc: 0,
+            cycles_dram: 0,
+        };
+        let mut seen: Vec<String> = Vec::new();
+        loop {
+            let key = self.string()?;
+            if seen.contains(&key) {
+                return Err(format!("duplicate contract field \"{key}\""));
+            }
+            self.expect(b':')?;
+            match key.as_str() {
+                "cfa" => c.cfa = self.string()?,
+                "model" => c.model = self.string()?,
+                other => {
+                    let v = self.number()?;
+                    set_num_field(&mut c, other, v)?;
+                }
+            }
+            seen.push(key);
+            self.skip_ws();
+            match self.next_byte()? {
+                b',' => continue,
+                b'}' => break,
+                other => return Err(format!("expected ',' or '}}', found '{}'", other as char)),
+            }
+        }
+        let expected = 2 + NUM_FIELDS.len();
+        if seen.len() != expected {
+            return Err(format!(
+                "contract for \"{}\" has {} fields, expected {expected}",
+                c.cfa,
+                seen.len()
+            ));
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContractSet {
+        ContractSet {
+            contracts: vec![
+                CostContract {
+                    cfa: "linked-list".into(),
+                    model: "linked-list".into(),
+                    dtype: 1,
+                    subtype: 0,
+                    widen_iters: 4096,
+                    widen_key_len: 512,
+                    widen_aux0: u64::MAX,
+                    states: 100,
+                    read_ops: 10,
+                    read_bytes: 240,
+                    compare_ops: 10,
+                    compare_bytes: 5120,
+                    hash_ops: 0,
+                    alu_ops: 0,
+                    mem_lines: 30,
+                    cycles_l1: 1,
+                    cycles_l2: 2,
+                    cycles_llc: 3,
+                    cycles_dram: 4,
+                },
+                CostContract {
+                    cfa: "cuckoo".into(),
+                    model: "cuckoo-hash".into(),
+                    dtype: 2,
+                    subtype: 1,
+                    widen_iters: 64,
+                    widen_key_len: 512,
+                    widen_aux0: 16,
+                    states: 64,
+                    read_ops: 8,
+                    read_bytes: 4096,
+                    compare_ops: 8,
+                    compare_bytes: 4096,
+                    hash_ops: 2,
+                    alu_ops: 64,
+                    mem_lines: 64,
+                    cycles_l1: 10,
+                    cycles_l2: 20,
+                    cycles_llc: 30,
+                    cycles_dram: 40,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let set = sample();
+        let json = set.to_json();
+        let parsed = ContractSet::parse(&json).expect("parse");
+        assert_eq!(parsed, set);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        let set = ContractSet { contracts: vec![] };
+        let parsed = ContractSet::parse(&set.to_json()).expect("parse");
+        assert!(parsed.contracts.is_empty());
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected_with_clear_error() {
+        let json = sample()
+            .to_json()
+            .replace("qei-contract-v1", "qei-contract-v9");
+        let err = ContractSet::parse(&json).expect_err("must reject");
+        assert!(err.contains("unknown contract schema"), "{err}");
+        assert!(err.contains("qei-contract-v9"), "{err}");
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let json = sample().to_json().replace("\"states\"", "\"mystery\"");
+        let err = ContractSet::parse(&json).expect_err("must reject");
+        assert!(err.contains("unknown contract field"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let json = sample()
+            .to_json()
+            .replace("      \"hash_ops\": 0,\n", "")
+            .replace("      \"hash_ops\": 2,\n", "");
+        let err = ContractSet::parse(&json).expect_err("must reject");
+        assert!(err.contains("fields, expected"), "{err}");
+    }
+
+    #[test]
+    fn u64_max_survives_the_round_trip() {
+        let set = sample();
+        let parsed = ContractSet::parse(&set.to_json()).expect("parse");
+        assert_eq!(parsed.contracts[0].widen_aux0, u64::MAX);
+    }
+}

@@ -83,6 +83,10 @@ pub struct Config {
     pub budget_violation: Option<String>,
     /// How the step resolved.
     pub end: ConfigEnd,
+    /// The micro-op this configuration emitted (operands included), for the
+    /// cost analysis. `None` only while the configuration is pending or if
+    /// its step panicked.
+    pub op: Option<MicroOp>,
 }
 
 /// The explored graph plus summary facts.
@@ -192,6 +196,7 @@ pub fn explore(program: &dyn CfaProgram, model: &StructureModel) -> Exploration 
             state: ctx.state,
             budget_violation: None,
             end: ConfigEnd::Fault, // placeholder until stepped
+            op: None,
         });
         pending.push((ctx, outcome));
         queue.push_back(id);
@@ -252,6 +257,7 @@ pub fn explore(program: &dyn CfaProgram, model: &StructureModel) -> Exploration 
         log.bytes(&[ctx.state]);
 
         configs[id].budget_violation = op.issue_budget_violation();
+        configs[id].op = Some(op);
         if !states.contains(&ctx.state) {
             states.push(ctx.state);
         }

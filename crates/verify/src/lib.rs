@@ -28,16 +28,24 @@
 //! [`verify_all`] runs the checker over every installed program and renders
 //! a deterministic JSON report; `repro --verify` wires it to the CLI.
 
+#![forbid(unsafe_code)]
+pub mod contract;
+pub mod cost;
 pub mod explore;
 pub mod model;
 pub mod report;
 
+pub use contract::{ContractSet, CONTRACT_SCHEMA};
+pub use cost::{analyze, widen_spec, WidenSpec};
 pub use explore::{explore, ConfigEnd, Exploration, OpKind, CONFIG_BUDGET};
 pub use model::{builtin_models, generic_model, HeaderField, StructureModel};
+pub use report::{check_schema, VERIFY_SCHEMA};
 
+use qei_config::CostContract;
 use qei_core::firmware::btree::{BPlusTreeCfa, BTREE_TYPE};
 use qei_core::firmware::{CfaProgram, STATE_DONE};
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// The verifier check that produced a diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +116,8 @@ pub struct ProgramReport {
     pub transitions: u64,
     /// Terminal configurations reached.
     pub terminals: u64,
+    /// Static worst-case cost contract derived by abstract interpretation.
+    pub cost: CostContract,
     /// Findings; empty means the program passed.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -171,6 +181,7 @@ pub fn verify_program(program: &dyn CfaProgram, model: &StructureModel) -> Progr
         configs: exploration.configs.len(),
         transitions: exploration.transitions,
         terminals: exploration.terminals,
+        cost: cost::analyze(program, model),
         diagnostics,
     }
 }
@@ -193,6 +204,36 @@ pub fn verify_all() -> VerifyReport {
         programs.push(report);
     }
     VerifyReport { programs }
+}
+
+/// Derives the cost contract for every shipped program (the seven built-ins
+/// plus the loadable B+-tree), in `(dtype, subtype)` order. This is the
+/// content of the committed `CONTRACTS.json` artifact.
+pub fn contracts_all() -> ContractSet {
+    let mut fw = qei_core::FirmwareStore::with_builtins();
+    fw.register(BTREE_TYPE, 0, Arc::new(BPlusTreeCfa));
+    let models = builtin_models();
+    let mut contracts = Vec::new();
+    for ((dtype, subtype), program) in fw.iter() {
+        let dedicated = models
+            .iter()
+            .find(|m| m.dtype == dtype && m.subtype == subtype);
+        let c = match dedicated {
+            Some(model) => cost::analyze(program.as_ref(), model),
+            None => cost::analyze(program.as_ref(), &generic_model(dtype, subtype)),
+        };
+        contracts.push(c);
+    }
+    ContractSet { contracts }
+}
+
+/// Installs the shipped contracts into `qei-core`'s runtime checker
+/// (process-global, first install wins). The analysis runs once per process
+/// and is cached; calling this repeatedly is cheap.
+pub fn install_contracts() {
+    static CACHE: OnceLock<ContractSet> = OnceLock::new();
+    let set = CACHE.get_or_init(contracts_all);
+    qei_core::contract::install(set.contracts.clone());
 }
 
 fn check_panics(exploration: &Exploration, out: &mut Vec<Diagnostic>) {

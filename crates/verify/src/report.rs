@@ -6,11 +6,39 @@
 
 use crate::{ProgramReport, VerifyReport};
 
+/// The report schema tag. v2 added the per-program `cost` contract section;
+/// [`check_schema`] rejects anything it does not recognize.
+pub const VERIFY_SCHEMA: &str = "qei-verify-v2";
+
+/// Checks that `text` is a verify report this build can read: the document
+/// must open with a `"schema"` field carrying exactly [`VERIFY_SCHEMA`].
+///
+/// # Errors
+///
+/// A human-readable description of the mismatch (unknown or missing schema).
+pub fn check_schema(text: &str) -> Result<(), String> {
+    let needle = "\"schema\": \"";
+    let Some(at) = text.find(needle) else {
+        return Err("report has no \"schema\" field; not a verify report".to_string());
+    };
+    let rest = &text[at + needle.len()..];
+    let Some(end) = rest.find('"') else {
+        return Err("unterminated \"schema\" value".to_string());
+    };
+    let schema = &rest[..end];
+    if schema != VERIFY_SCHEMA {
+        return Err(format!(
+            "unknown verify-report schema \"{schema}\" (this build reads \"{VERIFY_SCHEMA}\"); \
+             regenerate the report with `repro --verify`"
+        ));
+    }
+    Ok(())
+}
+
 /// Renders the whole report as a JSON document.
 pub fn render(report: &VerifyReport) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n");
-    out.push_str("  \"schema\": \"qei-verify-v1\",\n");
+    out.push_str(&format!("{{\n  \"schema\": \"{VERIFY_SCHEMA}\",\n"));
     out.push_str(&format!("  \"ok\": {},\n", report.ok()));
     out.push_str(&format!(
         "  \"programs_checked\": {},\n",
@@ -48,6 +76,22 @@ fn render_program(out: &mut String, p: &ProgramReport) {
     out.push_str(&format!("      \"configs\": {},\n", p.configs));
     out.push_str(&format!("      \"transitions\": {},\n", p.transitions));
     out.push_str(&format!("      \"terminals\": {},\n", p.terminals));
+    out.push_str("      \"cost\": {");
+    out.push_str(&format!("\"widen_iters\": {}, ", p.cost.widen_iters));
+    out.push_str(&format!("\"widen_key_len\": {}, ", p.cost.widen_key_len));
+    out.push_str(&format!("\"widen_aux0\": {}, ", p.cost.widen_aux0));
+    out.push_str(&format!("\"states\": {}, ", p.cost.states));
+    out.push_str(&format!("\"read_ops\": {}, ", p.cost.read_ops));
+    out.push_str(&format!("\"read_bytes\": {}, ", p.cost.read_bytes));
+    out.push_str(&format!("\"compare_ops\": {}, ", p.cost.compare_ops));
+    out.push_str(&format!("\"compare_bytes\": {}, ", p.cost.compare_bytes));
+    out.push_str(&format!("\"hash_ops\": {}, ", p.cost.hash_ops));
+    out.push_str(&format!("\"alu_ops\": {}, ", p.cost.alu_ops));
+    out.push_str(&format!("\"mem_lines\": {}, ", p.cost.mem_lines));
+    out.push_str(&format!("\"cycles_l1\": {}, ", p.cost.cycles_l1));
+    out.push_str(&format!("\"cycles_l2\": {}, ", p.cost.cycles_l2));
+    out.push_str(&format!("\"cycles_llc\": {}, ", p.cost.cycles_llc));
+    out.push_str(&format!("\"cycles_dram\": {}}},\n", p.cost.cycles_dram));
     out.push_str("      \"diagnostics\": [");
     if p.diagnostics.is_empty() {
         out.push_str("]\n");
@@ -92,7 +136,22 @@ fn json_str(s: &str) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::json_str;
+    use super::{check_schema, json_str, VERIFY_SCHEMA};
+
+    #[test]
+    fn schema_check_accepts_current_and_rejects_others() {
+        let current = format!("{{\n  \"schema\": \"{VERIFY_SCHEMA}\",\n  \"ok\": true\n}}\n");
+        assert!(check_schema(&current).is_ok());
+
+        let old = current.replace(VERIFY_SCHEMA, "qei-verify-v1");
+        let err = check_schema(&old).expect_err("v1 must be rejected");
+        assert!(err.contains("qei-verify-v1"), "{err}");
+        assert!(err.contains(VERIFY_SCHEMA), "{err}");
+
+        let none = "{\n  \"ok\": true\n}\n";
+        let err = check_schema(none).expect_err("missing schema must be rejected");
+        assert!(err.contains("no \"schema\" field"), "{err}");
+    }
 
     #[test]
     fn escapes_json_strings() {

@@ -44,8 +44,13 @@ fn report_json_is_deterministic() {
     let a = verify_all().to_json();
     let b = verify_all().to_json();
     assert_eq!(a, b, "two runs must render byte-identical JSON");
-    assert!(a.contains("\"schema\": \"qei-verify-v1\""));
+    assert!(a.contains("\"schema\": \"qei-verify-v2\""));
     assert!(a.contains("\"ok\": true"));
+    assert!(
+        a.contains("\"cost\": {"),
+        "v2 reports carry the cost contract"
+    );
+    qei_verify::check_schema(&a).expect("the renderer's own output must pass the schema check");
 }
 
 // ---------------------------------------------------------------------------

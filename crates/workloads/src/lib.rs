@@ -25,6 +25,7 @@
 //! take explicit sizes for full-scale runs. EXPERIMENTS.md records the
 //! parameters used for each reproduced figure.
 
+#![forbid(unsafe_code)]
 pub mod dpdk;
 pub mod flann;
 pub mod jvm;

@@ -46,6 +46,7 @@
 //! | [`power`] | `qei-power` | area/leakage/dynamic-energy model |
 //! | [`experiments`] | `qei-experiments` | every table and figure |
 
+#![forbid(unsafe_code)]
 pub use qei_cache as cache;
 pub use qei_config as config;
 pub use qei_core as accel;

@@ -31,6 +31,7 @@
 //! carries a justification and goes stale (errors) when the code it
 //! excuses disappears.
 
+#![forbid(unsafe_code)]
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -153,9 +154,10 @@ fn repo_root() -> PathBuf {
     }
 }
 
-/// All `.rs` files under `crates/*/src` and `xtask/src` (the linter lints
-/// itself), skipping `tests/`, `benches/` and `examples/` trees — the rules
-/// target shipping simulation code, not test scaffolding.
+/// All `.rs` files under `crates/*/src`, the facade crate's `src`, and
+/// `xtask/src` (the linter lints itself), skipping `tests/`, `benches/` and
+/// `examples/` trees — the rules target shipping simulation code, not test
+/// scaffolding.
 fn rust_sources(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
@@ -165,6 +167,7 @@ fn rust_sources(root: &Path) -> Vec<PathBuf> {
             roots.push(e.path().join("src"));
         }
     }
+    roots.push(root.join("src"));
     roots.push(root.join("xtask/src"));
     for r in roots {
         walk(&r, &mut out);

@@ -9,6 +9,11 @@ pub struct ScrubbedFile {
     /// replaced with spaces; line boundaries are preserved so findings
     /// report real line numbers.
     lines: Vec<String>,
+    /// The original lines, char-for-char aligned with `lines` (the scrubber
+    /// replaces every blanked char with one space). Rules that must read
+    /// string literals — the stats-key rule reads registration keys — index
+    /// into these at positions located in the scrubbed text.
+    raw: Vec<String>,
     /// `lines[i]` is inside a `#[cfg(test)]` item.
     in_test: Vec<bool>,
 }
@@ -17,8 +22,13 @@ impl ScrubbedFile {
     pub fn new(text: &str) -> ScrubbedFile {
         let scrubbed = scrub(text);
         let lines: Vec<String> = scrubbed.lines().map(str::to_string).collect();
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
         let in_test = test_lines(&lines);
-        ScrubbedFile { lines, in_test }
+        ScrubbedFile {
+            lines,
+            raw,
+            in_test,
+        }
     }
 
     /// Non-test lines as `(1-based line number, text)`.
@@ -289,6 +299,37 @@ pub const RULES: &[Rule] = &[
         applies: |p| in_any(p, &SIM_STATE_CRATES),
         check: float_state_fields,
     },
+    Rule {
+        name: "forbid-unsafe",
+        // Crate roots only: the attribute is crate-wide, so one declaration
+        // per crate (plus the xtask binary and the facade crate) covers
+        // every module.
+        applies: |p| {
+            p == "src/lib.rs"
+                || p == "xtask/src/main.rs"
+                || (p.starts_with("crates/") && p.ends_with("/src/lib.rs"))
+        },
+        check: |f| {
+            if f.lines
+                .iter()
+                .any(|l| l.contains("#![forbid(unsafe_code)]"))
+            {
+                Vec::new()
+            } else {
+                vec![(
+                    1,
+                    "crate root must declare `#![forbid(unsafe_code)]`: the simulator's \
+                     determinism and memory-safety story assumes no unsafe anywhere"
+                        .to_string(),
+                )]
+            }
+        },
+    },
+    Rule {
+        name: "stats-key",
+        applies: |_| true,
+        check: stats_key_registrations,
+    },
 ];
 
 fn find_tokens(f: &ScrubbedFile, tokens: &[&str], why: &str) -> Vec<(usize, String)> {
@@ -323,6 +364,142 @@ fn float_state_fields(f: &ScrubbedFile) -> Vec<(usize, String)> {
              once at the report boundary (StatsRegistry owns derived floats)"
                 .to_string(),
         ));
+    }
+    out
+}
+
+/// Lints `StatsRegistry` registration sites: every `.set(group, "key", v)`
+/// call with a literal key. Two failure modes that corrupt reports quietly:
+/// a key that is not snake_case (report grep-ability relies on the
+/// convention; `{…}` format placeholders are stripped before the check),
+/// and the same `(group, key)` registered twice in one function — the
+/// second write silently clobbers the first in the registry.
+fn stats_key_registrations(f: &ScrubbedFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for (i, line) in f.lines.iter().enumerate() {
+        if f.in_test[i] {
+            continue;
+        }
+        if line.contains("fn ") {
+            seen.clear();
+        }
+        let mut from = 0usize;
+        while let Some(p) = line[from..].find(".set(") {
+            let arg_start = from + p + ".set(".len();
+            from = arg_start;
+            let Some((group, key)) = parse_set_call(f, i, arg_start) else {
+                continue;
+            };
+            let stripped = strip_placeholders(&key);
+            if stripped.is_empty()
+                || !stripped
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            {
+                out.push((
+                    i + 1,
+                    format!("stats key `{key}` is not snake_case (lowercase, digits, `_`)"),
+                ));
+            }
+            let entry = (group, key);
+            if seen.contains(&entry) {
+                out.push((
+                    i + 1,
+                    format!(
+                        "duplicate stats registration `{}.{}` in this function: the second \
+                         write silently clobbers the first",
+                        entry.0, entry.1
+                    ),
+                ));
+            } else {
+                seen.push(entry);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a `.set(` argument list starting at char offset `start` of line
+/// `idx`, spanning up to 8 lines. Returns `(group_expr, key_literal)` when
+/// the call has exactly three arguments and a string-literal key — anything
+/// else (a `Cell::set`, a forwarded variable key) is not a registration
+/// site this rule can check.
+fn parse_set_call(f: &ScrubbedFile, idx: usize, start: usize) -> Option<(String, String)> {
+    // Accumulate the argument chars, scrubbed and raw in lockstep, until
+    // the call's parens balance. The scrubbed side has no string contents,
+    // so bracket counting cannot be fooled by literals.
+    let mut args_scrub: Vec<char> = Vec::new();
+    let mut args_raw: Vec<char> = Vec::new();
+    let mut depth = 1i32;
+    let mut closed = false;
+    'collect: for j in idx..f.lines.len().min(idx + 8) {
+        let scrub_chars: Vec<char> = f.lines[j].chars().collect();
+        let raw_chars: Vec<char> = f.raw.get(j)?.chars().collect();
+        let begin = if j == idx { start } else { 0 };
+        for (k, &c) in scrub_chars.iter().enumerate().skip(begin) {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        closed = true;
+                        break 'collect;
+                    }
+                }
+                _ => {}
+            }
+            args_scrub.push(c);
+            args_raw.push(raw_chars.get(k).copied().unwrap_or(' '));
+        }
+        args_scrub.push(' ');
+        args_raw.push(' ');
+    }
+    if !closed {
+        return None;
+    }
+    // Split on top-level commas.
+    let mut parts: Vec<(usize, usize)> = Vec::new();
+    let mut d = 0i32;
+    let mut last = 0usize;
+    for (k, &c) in args_scrub.iter().enumerate() {
+        match c {
+            '(' | '[' | '{' => d += 1,
+            ')' | ']' | '}' => d -= 1,
+            ',' if d == 0 => {
+                parts.push((last, k));
+                last = k + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push((last, args_scrub.len()));
+    if parts.len() != 3 {
+        return None;
+    }
+    let group: String = args_raw[parts[0].0..parts[0].1]
+        .iter()
+        .collect::<String>()
+        .trim()
+        .to_string();
+    let key_region: String = args_raw[parts[1].0..parts[1].1].iter().collect();
+    let open = key_region.find('"')?;
+    let close = key_region[open + 1..].find('"')?;
+    Some((group, key_region[open + 1..open + 1 + close].to_string()))
+}
+
+/// Strips `{…}` format placeholders from a key template, leaving the
+/// literal characters the rendered key is guaranteed to contain.
+fn strip_placeholders(key: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0u32;
+    for c in key.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
     }
     out
 }
@@ -383,6 +560,43 @@ mod tests {
             .find(|r| r.name == "wall-clock")
             .unwrap_or_else(|| panic!("wall-clock rule exists"));
         assert!((rule.applies)("crates/sim/src/chip.rs"));
+    }
+
+    #[test]
+    fn forbid_unsafe_targets_crate_roots_only() {
+        let rule = RULES
+            .iter()
+            .find(|r| r.name == "forbid-unsafe")
+            .unwrap_or_else(|| panic!("forbid-unsafe rule exists"));
+        assert!((rule.applies)("crates/core/src/lib.rs"));
+        assert!((rule.applies)("xtask/src/main.rs"));
+        assert!((rule.applies)("src/lib.rs"));
+        assert!(!(rule.applies)("crates/core/src/dpu.rs"));
+        let missing = ScrubbedFile::new("pub mod x;\n");
+        assert_eq!((rule.check)(&missing).len(), 1);
+        let present = ScrubbedFile::new("#![forbid(unsafe_code)]\npub mod x;\n");
+        assert!((rule.check)(&present).is_empty());
+    }
+
+    #[test]
+    fn stats_key_rule_flags_duplicates_and_case() {
+        let src = "fn export(reg: &mut R) {\n    reg.set(g, \"good_key\", 1);\n    reg.set(g, \"BadKey\", 2);\n    reg.set(g, \"good_key\", 3);\n    reg.set(g, &format!(\"t{i}_p50\"), 4);\n}\n";
+        let f = ScrubbedFile::new(src);
+        let hits = stats_key_registrations(&f);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].1.contains("BadKey"), "{hits:?}");
+        assert!(hits[1].1.contains("duplicate"), "{hits:?}");
+    }
+
+    #[test]
+    fn stats_key_rule_scopes_duplicates_per_function_and_spans_lines() {
+        // The same key in two different export functions is legitimate.
+        let src = "fn a(reg: &mut R) {\n    reg.set(g, \"offered\", 1);\n}\nfn b(reg: &mut R) {\n    reg.set(\n        g,\n        \"offered\",\n        2,\n    );\n}\n";
+        let f = ScrubbedFile::new(src);
+        assert!(stats_key_registrations(&f).is_empty());
+        // Non-registration .set calls (Cell::set) are ignored.
+        let cell = ScrubbedFile::new("fn c() { last.set(5); pair.set(a, b); }\n");
+        assert!(stats_key_registrations(&cell).is_empty());
     }
 
     #[test]
